@@ -1,0 +1,55 @@
+// Shared helpers for the figure-regeneration binaries.
+//
+// Every binary accepts optional arguments:
+//   --paper       run at the paper's full scale (28 cycles, 21 warm-up) —
+//                 slower, but the exact §4.1 schedule;
+//   --quick       minimal scale for smoke-testing;
+//   --csv         emit CSV instead of aligned tables (for plotting);
+//   --seed <n>    override the experiment seed.
+// Default is a reduced-but-faithful scale (6 cycles, 3 warm-up).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/experiment.hpp"
+
+namespace cloudfog::bench {
+
+inline bool& csv_mode() {
+  static bool mode = false;
+  return mode;
+}
+
+inline core::ExperimentScale scale_from_args(int argc, char** argv,
+                                             core::ExperimentScale fallback = {}) {
+  core::ExperimentScale scale = fallback;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) {
+      const auto seed = scale.seed;
+      scale = core::ExperimentScale::paper();
+      scale.seed = seed;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      const auto seed = scale.seed;
+      scale = core::ExperimentScale::quick();
+      scale.seed = seed;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_mode() = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      scale.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return scale;
+}
+
+inline void print(const util::Table& table) {
+  if (csv_mode()) {
+    table.print_csv(std::cout);
+    std::cout << '\n';
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace cloudfog::bench

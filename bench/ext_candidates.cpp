@@ -1,0 +1,13 @@
+// Ablation: how many candidates should the cloud return (§3.2.1)?
+// A tiny list strands players on the cloud whenever their closest
+// supernodes are full; a huge list buys little and costs probe traffic
+// and join latency.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::candidate_count_ablation(core::TestbedProfile::kPeerSim,
+                                              {1, 2, 4, 8, 16, 32}, scale));
+  return 0;
+}

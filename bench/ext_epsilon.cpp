@@ -1,0 +1,18 @@
+// Ablation: Eq. 15 sizes the supernode fleet as (1+ε)·N̂/Ĉ — seats per
+// forecast player. But seats are only useful where players are, so ε must
+// also absorb the geographic mismatch between seat supply and demand.
+// This sweep shows the cliff: small ε deploys "enough" seats on paper yet
+// strands players on the cloud; large ε wastes update-feed bandwidth.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale =
+      bench::scale_from_args(argc, argv, core::ExperimentScale::provisioning());
+  // Peak rate chosen so the Eq. 15 fleet size is the binding constraint
+  // (higher rates saturate the whole contributed fleet and flatten ε out).
+  bench::print(core::epsilon_ablation(core::TestbedProfile::kPeerSim,
+                                      {0.0, 0.25, 0.5, 1.0, 1.5, 2.0},
+                                      /*peak_rate_per_min=*/10.0, scale));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Resilience sweep: contributed desktops switch off without notice — a
+// growing fraction of the serving fleet fails at every evening peak. The
+// §3.2.2 migration machinery (candidate caches, probing, re-selection)
+// keeps the damage bounded; this sweep quantifies how gracefully.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::failure_rate_sweep(core::TestbedProfile::kPeerSim,
+                                        {0.0, 0.05, 0.1, 0.2, 0.4}, scale));
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Extension experiment (paper §3.6, deferred to future work there):
+// malicious supernodes deliberately delay game-video packets. The private
+// per-player reputation system (§3.2) is the anticipated defence — players
+// who experienced the sabotage rank those supernodes below any
+// alternative. This sweep quantifies how much of the damage it absorbs.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::malicious_supernode_sweep(core::TestbedProfile::kPeerSim,
+                                               {0.0, 0.1, 0.2, 0.3, 0.4}, scale));
+  return 0;
+}

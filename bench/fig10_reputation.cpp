@@ -1,0 +1,15 @@
+// Reproduces Fig. 10: percentage of satisfied players with and without
+// reputation-based supernode selection, as supernode capacity varies.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::satisfaction_sweep(core::TestbedProfile::kPeerSim,
+                                        core::SatisfactionStrategy::kReputation,
+                                        {5, 10, 15, 20, 25}, scale));
+  bench::print(core::satisfaction_sweep(core::TestbedProfile::kPlanetLab,
+                                        core::SatisfactionStrategy::kReputation,
+                                        {5, 10, 15, 20, 25}, scale));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Fig. 11: percentage of satisfied players with and without
+// receiver-driven encoding-rate adaptation, as supernode capacity varies.
+// Also prints the Table 2 quality ladder the adapter walks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "game/quality_ladder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+
+  // Table 2 — the parameter ladder itself.
+  util::Table ladder_table("Table 2 — video parameters for different quality levels");
+  ladder_table.set_header(
+      {"quality level", "resolution", "bitrate (kbps)", "latency req (ms)", "tolerance"});
+  const auto ladder = game::QualityLadder::paper_default();
+  for (int level = ladder.max_level(); level >= ladder.min_level(); --level) {
+    const auto& q = ladder.at_level(level);
+    ladder_table.add_row({std::to_string(q.level),
+                          std::to_string(q.width) + "x" + std::to_string(q.height),
+                          util::format_double(q.bitrate_kbps, 0),
+                          util::format_double(q.latency_requirement_ms, 0),
+                          util::format_double(q.latency_tolerance, 1)});
+  }
+  bench::print(ladder_table);
+
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::satisfaction_sweep(core::TestbedProfile::kPeerSim,
+                                        core::SatisfactionStrategy::kRateAdaptation,
+                                        {5, 10, 15, 20, 25}, scale));
+  bench::print(core::satisfaction_sweep(core::TestbedProfile::kPlanetLab,
+                                        core::SatisfactionStrategy::kRateAdaptation,
+                                        {5, 10, 15, 20, 25}, scale));
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 12: response latency decomposed into inter-server
+// communication latency and everything else, with and without the social
+// server-assignment strategy, as the number of servers per datacenter
+// varies.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::server_assignment_sweep(core::TestbedProfile::kPeerSim,
+                                             {5, 10, 15, 20, 25}, scale));
+  bench::print(core::server_assignment_sweep(core::TestbedProfile::kPlanetLab,
+                                             {5, 10, 15, 20, 25}, scale));
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces Fig. 13: cloud bandwidth consumption vs peak user arrival
+// rate, with a fixed supernode pool (CloudFog/B) vs dynamic SARIMA-driven
+// provisioning (CloudFog-provision).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale =
+      bench::scale_from_args(argc, argv, core::ExperimentScale::provisioning());
+  bench::print(core::provisioning_sweep(core::TestbedProfile::kPeerSim,
+                                        {10, 20, 30, 40, 50, 60}, scale)
+                   .bandwidth);
+  bench::print(core::provisioning_sweep(core::TestbedProfile::kPlanetLab,
+                                        {2, 3, 4, 5, 6, 7}, scale)
+                   .bandwidth);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Fig. 15: average playback continuity vs peak user arrival
+// rate, fixed pool vs dynamic provisioning.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale =
+      bench::scale_from_args(argc, argv, core::ExperimentScale::provisioning());
+  bench::print(core::provisioning_sweep(core::TestbedProfile::kPeerSim,
+                                        {10, 20, 30, 40, 50, 60}, scale)
+                   .continuity);
+  bench::print(core::provisioning_sweep(core::TestbedProfile::kPlanetLab,
+                                        {2, 3, 4, 5, 6, 7}, scale)
+                   .continuity);
+  return 0;
+}

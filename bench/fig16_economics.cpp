@@ -1,0 +1,29 @@
+// Reproduces Fig. 16 and the §4.4 analysis: supernode contributor
+// economics (rewards / electricity costs / profits) and provider savings
+// versus renting Amazon EC2 GPU instances.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "economics/cost_model.hpp"
+#include "economics/incentives.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  bench::scale_from_args(argc, argv);  // honours --csv
+
+  bench::print(core::supernode_economics({4, 8, 12, 16, 20, 24}));
+  bench::print(core::provider_savings({100, 200, 300, 400, 500, 600, 700, 800}));
+
+  // §4.4 headline numbers.
+  const economics::CostModel model;
+  util::Table summary("§4.4 — headline economics");
+  summary.set_header({"quantity", "value"});
+  summary.add_row({"hourly electricity cost of one supernode (USD)",
+                   util::format_double(model.running_cost_usd(1.0), 4)});
+  summary.add_row({"annual reward bill, 300 supernodes @ 24 h (USD)",
+                   util::format_double(model.annual_fleet_reward_usd(300, 24.0), 0)});
+  summary.add_row({"medium datacenter build cost (USD)",
+                   util::format_double(model.config().datacenter_build_usd, 0)});
+  bench::print(summary);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Fig. 4 (PeerSim) and Fig. 5 (PlanetLab): user coverage as a
+// function of the number of datacenters / supernodes, for game network
+// latency requirements of 30–110 ms.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const std::vector<double> reqs{30, 50, 70, 90, 110};
+  const std::uint64_t seed = bench::scale_from_args(argc, argv).seed;
+
+  bench::print(core::coverage_vs_datacenters(core::TestbedProfile::kPeerSim,
+                                             {5, 10, 15, 20, 25}, reqs, seed));
+  bench::print(core::coverage_vs_supernodes(core::TestbedProfile::kPeerSim,
+                                            {0, 100, 200, 300, 400, 500, 600}, reqs, seed));
+  bench::print(core::coverage_vs_datacenters(core::TestbedProfile::kPlanetLab,
+                                             {2, 4, 6, 8, 10}, reqs, seed));
+  bench::print(core::coverage_vs_supernodes(core::TestbedProfile::kPlanetLab,
+                                            {0, 5, 10, 15, 20, 25, 30}, reqs, seed));
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 6: server (cloud) bandwidth consumption vs number of
+// players, for Cloud, CDN-45/8, CDN and CloudFog.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::population_sweep(core::TestbedProfile::kPeerSim,
+                                      {2000, 4000, 6000, 8000, 10000}, scale)
+                   .bandwidth);
+  bench::print(core::population_sweep(core::TestbedProfile::kPlanetLab,
+                                      {150, 300, 450, 600, 750}, scale)
+                   .bandwidth);
+  return 0;
+}

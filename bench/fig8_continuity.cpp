@@ -1,0 +1,15 @@
+// Reproduces Fig. 8: average game-video playback continuity vs number of
+// players, for Cloud, CDN-45/8, CDN, CloudFog/B and CloudFog/A.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::population_sweep(core::TestbedProfile::kPeerSim,
+                                      {2000, 4000, 6000, 8000, 10000}, scale)
+                   .continuity);
+  bench::print(core::population_sweep(core::TestbedProfile::kPlanetLab,
+                                      {150, 300, 450, 600, 750}, scale)
+                   .continuity);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 9: system setup and churn latencies — server assignment
+// (wall clock of the community partitioner), supernode join, player join
+// and migration after injected supernode failures.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  // Churn latencies stabilize quickly; a short run suffices.
+  const auto scale = bench::scale_from_args(argc, argv, core::ExperimentScale::quick());
+  bench::print(core::setup_latency_vs_players(
+      core::TestbedProfile::kPeerSim, {1000, 2000, 3000, 4000, 5000, 6000}, scale));
+  bench::print(core::setup_latency_vs_supernodes(core::TestbedProfile::kPlanetLab,
+                                                 {10, 15, 20, 25, 30}, scale));
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Microbenchmarks of the hot paths (google-benchmark): the quantities the
+// paper analyses asymptotically — O(h1·z²) community partitioning,
+// O(m·n·N_r) reputation scoring — plus the event queue, the rate adapter
+// step and the SARIMA recursion.
+#include <benchmark/benchmark.h>
+
+#include "core/provisioner.hpp"
+#include "forecast/sarima.hpp"
+#include "overlay/join_session.hpp"
+#include "reputation/reputation_store.hpp"
+#include "sim/event_queue.hpp"
+#include "social/community_partitioner.hpp"
+#include "social/social_graph.hpp"
+#include "util/rng.hpp"
+#include "video/qoe.hpp"
+#include "video/rate_adapter.hpp"
+#include "world/state_engine.hpp"
+
+namespace {
+
+using namespace cloudfog;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % n), [&fired] { ++fired; });
+    }
+    while (!q.empty()) q.pop().callback();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_ModularitySwapTrial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  social::SocialGraphConfig gcfg;
+  auto graph = social::generate_power_law_graph(n, gcfg, rng);
+  social::Partition partition(n);
+  for (std::size_t i = 0; i < n; ++i) partition[i] = static_cast<int>(i % 16);
+  social::ModularityState ms(graph, partition, 16);
+  std::size_t player = 0;
+  for (auto _ : state) {
+    ms.move(player, static_cast<int>((player + 1) % 16));
+    benchmark::DoNotOptimize(ms.modularity());
+    ms.move(player, static_cast<int>(player % 16));
+    player = (player + 1) % n;
+  }
+}
+BENCHMARK(BM_ModularitySwapTrial)->Arg(1000)->Arg(10000);
+
+void BM_CommunityPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  social::SocialGraphConfig gcfg;
+  auto graph = social::generate_power_law_graph(n, gcfg, rng);
+  social::PartitionerConfig pcfg;
+  pcfg.communities = 50;
+  pcfg.max_swap_trials = 200;
+  pcfg.max_consecutive_miss = 50;
+  const social::CommunityPartitioner partitioner(pcfg);
+  for (auto _ : state) {
+    util::Rng run_rng(13);
+    benchmark::DoNotOptimize(partitioner.partition(graph, run_rng));
+  }
+}
+BENCHMARK(BM_CommunityPartition)->Arg(1000)->Arg(5000);
+
+void BM_ReputationScore(benchmark::State& state) {
+  const int ratings = static_cast<int>(state.range(0));
+  reputation::ReputationStore store(0.9, static_cast<std::size_t>(ratings));
+  for (int i = 0; i < ratings; ++i) {
+    store.add_rating(3, 0.8, i + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.score(3, ratings + 1));
+  }
+}
+BENCHMARK(BM_ReputationScore)->Arg(16)->Arg(64);
+
+void BM_RateAdapterStep(benchmark::State& state) {
+  const auto catalog = game::GameCatalog::paper_default();
+  video::RateAdapterConfig cfg;
+  video::RateAdapter adapter(catalog, 2, cfg);
+  double rate = 900e3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapter.step(2.0, rate));
+    rate = rate > 500e3 ? rate - 1e3 : 1200e3;  // oscillate around the ladder
+  }
+}
+BENCHMARK(BM_RateAdapterStep);
+
+void BM_SarimaObserveForecast(benchmark::State& state) {
+  forecast::SeasonalArima model(forecast::SarimaConfig{42, 0.3, 0.3});
+  double v = 1000.0;
+  for (auto _ : state) {
+    model.observe(v);
+    benchmark::DoNotOptimize(model.forecast_next());
+    v = v < 5000 ? v * 1.01 : 1000.0;
+  }
+}
+// Bounded iterations: the model keeps its observation history, so an
+// unbounded run would grow memory linearly.
+BENCHMARK(BM_SarimaObserveForecast)->Iterations(100000);
+
+void BM_WorldTick(benchmark::State& state) {
+  world::WorldConfig wcfg;
+  world::VirtualWorld vw(wcfg, util::Rng(31));
+  for (std::int64_t i = 0; i < state.range(0); ++i) vw.spawn();
+  world::GameStateEngine engine(vw, world::StateEngineConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.tick(0.1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorldTick)->Arg(1000)->Arg(5000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  world::WorldConfig wcfg;
+  world::VirtualWorld vw(wcfg, util::Rng(32));
+  for (std::int64_t i = 0; i < state.range(0); ++i) vw.spawn();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world::build_kdtree_partition(vw, 64, 8));
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_OverlayJoin(benchmark::State& state) {
+  // One full §3.2.1 join conversation through the event-driven overlay.
+  const net::LatencyModel latency{net::LatencyModelConfig{}};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    overlay::MessageNetwork network(sim, latency);
+    overlay::CloudDirectoryAgent directory(
+        network, net::make_infrastructure_endpoint({2000.0, 0.0}));
+    std::vector<std::unique_ptr<overlay::SupernodeAgent>> sns;
+    for (int i = 0; i < 8; ++i) {
+      sns.push_back(std::make_unique<overlay::SupernodeAgent>(
+          network, net::Endpoint{{10.0 * (i + 1), 0.0}, 2.0}, 5));
+      directory.admit(sns.back()->address(), net::GeoPoint{10.0 * (i + 1), 0.0});
+    }
+    overlay::PlayerAgent player(sim, network, net::Endpoint{{0.0, 0.0}, 5.0});
+    bool connected = false;
+    player.join(directory.address(), overlay::JoinConfig{}, nullptr,
+                [&connected](const overlay::JoinResult& r) { connected = r.fog_connected; },
+                util::Rng(7));
+    sim.run();
+    benchmark::DoNotOptimize(connected);
+  }
+}
+BENCHMARK(BM_OverlayJoin);
+
+void BM_QoeMos(benchmark::State& state) {
+  const video::QoeModel model;
+  double lat = 40.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.mos(lat, 0.93, 1200.0));
+    lat = lat < 200.0 ? lat + 0.1 : 40.0;
+  }
+}
+BENCHMARK(BM_QoeMos);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,264 @@
+// cloudfog — command-line driver for the library.
+//
+// Subcommands:
+//   run        simulate one system arm and print its QoS summary
+//   compare    run all five arms of the paper's evaluation side by side
+//   coverage   Fig. 4-style coverage for a datacenter/supernode deployment
+//   economics  contributor & provider economics tables
+//   world      tick the virtual-world substrate and report server loads
+//   report     regenerate every paper figure into CSVs + a Markdown report
+//
+//   $ ./cloudfog_cli run --arch cloudfog-a --players 2000 --cycles 6 --seed 7
+//   $ ./cloudfog_cli compare --profile planetlab --csv
+//   $ ./cloudfog_cli coverage --supernodes 300
+//   $ ./cloudfog_cli report --out results
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
+#include "world/state_engine.hpp"
+
+namespace {
+
+using namespace cloudfog;
+
+int usage() {
+  std::cout <<
+      "usage: cloudfog_cli <run|compare|coverage|economics|world|report> [options]\n"
+      "\n"
+      "common options:\n"
+      "  --profile peersim|planetlab   testbed profile (default peersim)\n"
+      "  --players N                   population size (default per profile)\n"
+      "  --cycles N --warmup N         schedule (default 6/3)\n"
+      "  --seed N                      root seed (default 42)\n"
+      "  --csv                         CSV output\n"
+      "run options:\n"
+      "  --arch cloud|cdn|cdn-small|cloudfog-b|cloudfog-a (default cloudfog-a)\n"
+      "coverage options:\n"
+      "  --supernodes N                supernodes on top of the default DCs\n"
+      "world options:\n"
+      "  --avatars N --servers N --ticks N\n";
+  return 2;
+}
+
+core::TestbedProfile profile_of(const util::CliArgs& args) {
+  const std::string name = args.get_string("profile", "peersim");
+  if (name == "peersim") return core::TestbedProfile::kPeerSim;
+  if (name == "planetlab") return core::TestbedProfile::kPlanetLab;
+  throw ConfigError("unknown profile: " + name);
+}
+
+core::Testbed make_testbed(const util::CliArgs& args) {
+  const auto profile = profile_of(args);
+  const auto default_players = profile == core::TestbedProfile::kPeerSim ? 10000 : 750;
+  const auto players =
+      static_cast<std::size_t>(args.get_int("players", default_players));
+  const auto cfg = profile == core::TestbedProfile::kPeerSim
+                       ? core::TestbedConfig::peersim(players)
+                       : core::TestbedConfig::planetlab(players);
+  return core::Testbed(cfg, static_cast<std::uint64_t>(args.get_int("seed", 42)));
+}
+
+sim::CycleConfig cycles_of(const util::CliArgs& args) {
+  sim::CycleConfig cfg;
+  cfg.total_cycles = static_cast<int>(args.get_int("cycles", 6));
+  cfg.warmup_cycles = static_cast<int>(args.get_int("warmup", 3));
+  return cfg;
+}
+
+void emit(const util::CliArgs& args, const util::Table& table) {
+  if (args.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+core::System make_arm(const core::Testbed& testbed, const std::string& arch,
+                      std::uint64_t seed) {
+  if (arch == "cloud") return core::make_cloud_system(testbed, seed);
+  if (arch == "cdn") return core::make_cdn_system(testbed, seed);
+  if (arch == "cdn-small") return core::make_small_cdn_system(testbed, seed);
+  if (arch == "cloudfog-b") return core::make_cloudfog_basic(testbed, seed);
+  if (arch == "cloudfog-a") return core::make_cloudfog_advanced(testbed, seed);
+  throw ConfigError("unknown architecture: " + arch);
+}
+
+void metrics_rows(util::Table& table, const std::string& name,
+                  const core::RunMetrics& m) {
+  table.add_row({name, util::format_double(m.response_latency_ms.mean(), 1),
+                 util::format_double(m.continuity.mean(), 3),
+                 util::format_double(m.satisfied_fraction.mean() * 100.0, 1),
+                 util::format_double(m.mos.mean(), 2),
+                 util::format_double(m.cloud_egress_mbps.mean(), 1),
+                 util::format_double(m.fog_served_fraction.mean() * 100.0, 1)});
+}
+
+int cmd_run(const util::CliArgs& args) {
+  args.require_known({"profile", "players", "cycles", "warmup", "seed", "csv", "arch"});
+  const auto testbed = make_testbed(args);
+  const std::string arch = args.get_string("arch", "cloudfog-a");
+  auto system = make_arm(testbed, arch, static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const auto& metrics = system.run(cycles_of(args));
+  util::Table table("cloudfog run — " + arch);
+  table.set_header({"arm", "latency (ms)", "continuity", "satisfied (%)", "MOS",
+                    "cloud egress (Mbps)", "fog served (%)"});
+  metrics_rows(table, arch, metrics);
+  emit(args, table);
+  return 0;
+}
+
+int cmd_compare(const util::CliArgs& args) {
+  args.require_known({"profile", "players", "cycles", "warmup", "seed", "csv"});
+  const auto testbed = make_testbed(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  util::Table table("cloudfog compare — all arms");
+  table.set_header({"arm", "latency (ms)", "continuity", "satisfied (%)", "MOS",
+                    "cloud egress (Mbps)", "fog served (%)"});
+  for (const std::string arch : {"cloud", "cdn-small", "cdn", "cloudfog-b", "cloudfog-a"}) {
+    auto system = make_arm(testbed, arch, seed);
+    metrics_rows(table, arch, system.run(cycles_of(args)));
+  }
+  emit(args, table);
+  return 0;
+}
+
+int cmd_coverage(const util::CliArgs& args) {
+  args.require_known({"profile", "players", "seed", "csv", "supernodes"});
+  const auto profile = profile_of(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int(
+      "seed", 42));
+  const auto sns = static_cast<std::size_t>(args.get_int("supernodes", 0));
+  emit(args, core::coverage_vs_supernodes(profile, {0, sns}, {30, 50, 70, 90, 110}, seed));
+  return 0;
+}
+
+int cmd_economics(const util::CliArgs& args) {
+  args.require_known({"csv"});
+  emit(args, core::supernode_economics({4, 8, 12, 16, 20, 24}));
+  emit(args, core::provider_savings({100, 200, 400, 800}));
+  return 0;
+}
+
+int cmd_world(const util::CliArgs& args) {
+  args.require_known({"avatars", "servers", "ticks", "seed", "csv"});
+  world::WorldConfig wcfg;
+  world::VirtualWorld vw(wcfg, util::Rng(static_cast<std::uint64_t>(args.get_int("seed", 42))));
+  const auto avatars = args.get_int("avatars", 3000);
+  for (std::int64_t i = 0; i < avatars; ++i) vw.spawn();
+  world::StateEngineConfig scfg;
+  scfg.server_count = static_cast<std::size_t>(args.get_int("servers", 8));
+  world::GameStateEngine engine(vw, scfg);
+  util::Table table("cloudfog world — tick report");
+  table.set_header({"tick", "compute (ms)", "interactions", "cross-server", "imbalance"});
+  const auto ticks = args.get_int("ticks", 50);
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    const auto stats = engine.tick(0.1);
+    if (t % std::max<std::int64_t>(1, ticks / 10) == 0) {
+      table.add_row({std::to_string(t), util::format_double(stats.compute_ms, 2),
+                     std::to_string(stats.interactions),
+                     std::to_string(stats.cross_server_interactions),
+                     util::format_double(stats.imbalance, 2)});
+    }
+  }
+  emit(args, table);
+  return 0;
+}
+
+int cmd_report(const util::CliArgs& args) {
+  args.require_known({"out", "profile", "seed", "cycles", "warmup", "quick"});
+  const std::filesystem::path out_dir = args.get_string("out", "results");
+  std::filesystem::create_directories(out_dir);
+  const auto profile = profile_of(args);
+  core::ExperimentScale scale;
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  scale.cycles = static_cast<int>(args.get_int("cycles", scale.cycles));
+  scale.warmup = static_cast<int>(args.get_int("warmup", scale.warmup));
+  if (args.get_bool("quick")) {
+    const auto seed = scale.seed;
+    scale = core::ExperimentScale::quick();
+    scale.seed = seed;
+  }
+
+  std::ofstream report(out_dir / "REPORT.md");
+  report << "# CloudFog figure report\n\nGenerated by `cloudfog_cli report` — "
+         << scale.cycles << " cycles (" << scale.warmup << " warm-up), seed "
+         << scale.seed << ".\n\n";
+
+  auto save = [&](const std::string& name, const util::Table& table) {
+    std::ofstream csv(out_dir / (name + ".csv"));
+    table.print_csv(csv);
+    report << "## " << name << "\n\n```\n";
+    table.print(report);
+    report << "```\n\n";
+    std::cout << "wrote " << (out_dir / (name + ".csv")).string() << "\n";
+  };
+
+  const std::vector<std::size_t> dc_counts =
+      profile == core::TestbedProfile::kPeerSim
+          ? std::vector<std::size_t>{5, 10, 15, 20, 25}
+          : std::vector<std::size_t>{2, 4, 6, 8, 10};
+  const std::vector<std::size_t> sn_counts =
+      profile == core::TestbedProfile::kPeerSim
+          ? std::vector<std::size_t>{0, 200, 400, 600}
+          : std::vector<std::size_t>{0, 10, 20, 30};
+  const std::vector<std::size_t> populations =
+      profile == core::TestbedProfile::kPeerSim
+          ? std::vector<std::size_t>{2000, 6000, 10000}
+          : std::vector<std::size_t>{250, 500, 750};
+  const std::vector<double> reqs{30, 50, 70, 90, 110};
+
+  save("fig4a_coverage_datacenters",
+       core::coverage_vs_datacenters(profile, dc_counts, reqs, scale.seed));
+  save("fig4b_coverage_supernodes",
+       core::coverage_vs_supernodes(profile, sn_counts, reqs, scale.seed));
+  const auto population = core::population_sweep(profile, populations, scale);
+  save("fig6_bandwidth", population.bandwidth);
+  save("fig7_latency", population.latency);
+  save("fig8_continuity", population.continuity);
+  save("fig10_reputation",
+       core::satisfaction_sweep(profile, core::SatisfactionStrategy::kReputation,
+                                {5, 15, 25}, scale));
+  save("fig11_adaptation",
+       core::satisfaction_sweep(profile, core::SatisfactionStrategy::kRateAdaptation,
+                                {5, 15, 25}, scale));
+  save("fig12_server_assignment",
+       core::server_assignment_sweep(profile, {5, 15, 25}, scale));
+  const auto provisioning = core::provisioning_sweep(
+      profile,
+      profile == core::TestbedProfile::kPeerSim ? std::vector<double>{10, 30, 60}
+                                                : std::vector<double>{2, 4, 7},
+      scale);
+  save("fig13_provisioning_bandwidth", provisioning.bandwidth);
+  save("fig14_provisioning_latency", provisioning.latency);
+  save("fig15_provisioning_continuity", provisioning.continuity);
+  save("fig16a_supernode_economics", core::supernode_economics({4, 8, 12, 16, 20, 24}));
+  save("fig16b_provider_savings", core::provider_savings({100, 200, 400, 800}));
+  std::cout << "wrote " << (out_dir / "REPORT.md").string() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string& command = args.positional().front();
+    if (command == "run") return cmd_run(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "coverage") return cmd_coverage(args);
+    if (command == "economics") return cmd_economics(args);
+    if (command == "world") return cmd_world(args);
+    if (command == "report") return cmd_report(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const cloudfog::ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,78 @@
+// Guild-battle scenario: tightly connected friend groups (guilds) play
+// together every evening. The social server-assignment strategy (§3.4)
+// clusters each guild onto one game server, removing most inter-server
+// communication from their interactions.
+//
+//   $ ./guild_battle
+#include <iostream>
+
+#include "social/community_partitioner.hpp"
+#include "social/modularity.hpp"
+#include "social/social_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cloudfog;
+
+  // 1 200 players in 40 guilds of 30: dense friendships inside a guild,
+  // sparse across guilds.
+  constexpr std::size_t kGuilds = 40;
+  constexpr std::size_t kGuildSize = 30;
+  constexpr std::size_t kPlayers = kGuilds * kGuildSize;
+
+  util::Rng rng(99);
+  social::SocialGraph graph(kPlayers);
+  for (std::size_t g = 0; g < kGuilds; ++g) {
+    const std::size_t base = g * kGuildSize;
+    for (std::size_t i = 0; i < kGuildSize; ++i) {
+      for (std::size_t j = i + 1; j < kGuildSize; ++j) {
+        if (rng.chance(0.35)) graph.add_friendship(base + i, base + j);
+      }
+    }
+  }
+  for (int cross = 0; cross < 400; ++cross) {  // a few cross-guild friendships
+    graph.add_friendship(
+        static_cast<std::size_t>(rng.uniform_int(0, kPlayers - 1)),
+        static_cast<std::size_t>(rng.uniform_int(0, kPlayers - 1)));
+  }
+
+  // Partition onto 20 game servers: random vs the paper's algorithm.
+  constexpr int kServers = 20;
+  social::Partition random_partition(kPlayers);
+  for (auto& s : random_partition) s = static_cast<int>(rng.uniform_int(0, kServers - 1));
+
+  social::PartitionerConfig cfg;
+  cfg.communities = kServers;
+  cfg.max_swap_trials = 2000;
+  cfg.max_consecutive_miss = 300;
+  const social::CommunityPartitioner partitioner(cfg);
+  const auto result = partitioner.partition(graph, rng);
+
+  auto cross_edge_fraction = [&](const social::Partition& p) {
+    std::size_t cross = 0;
+    const auto edges = graph.edges();
+    for (const auto& [a, b] : edges) {
+      if (p[a] != p[b]) ++cross;
+    }
+    return static_cast<double>(cross) / static_cast<double>(edges.size());
+  };
+
+  util::Table table("Guild clustering onto game servers");
+  table.set_header({"assignment", "modularity", "cross-server friend edges (%)"});
+  table.add_row({"random",
+                 util::format_double(
+                     social::modularity(graph, random_partition, kServers), 3),
+                 util::format_double(cross_edge_fraction(random_partition) * 100, 1)});
+  table.add_row({"greedy seed",
+                 util::format_double(result.initial_modularity, 3), "-"});
+  table.add_row({"after swap optimization",
+                 util::format_double(result.final_modularity, 3),
+                 util::format_double(cross_edge_fraction(result.partition) * 100, 1)});
+  table.print(std::cout);
+
+  std::cout << "Every cross-server friend edge costs an inter-server round trip\n"
+               "each time that pair fights in the same battle; clustering guilds\n"
+               "removes nearly all of it (paper Fig. 12: about 20 ms saved).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Thin-client rate adaptation walkthrough: a mobile player on a
+// fluctuating link streams an RTS (90 ms budget, quality level 4). The
+// receiver-driven adapter (§3.3) steps the encoding bitrate down when the
+// buffer drains under congestion and back up when the link recovers.
+//
+//   $ ./mobile_thin_client
+#include <iostream>
+
+#include "game/game_catalog.hpp"
+#include "util/table.hpp"
+#include "video/stream_session.hpp"
+
+int main() {
+  using namespace cloudfog;
+
+  const auto catalog = game::GameCatalog::paper_default();
+  const game::GameId rts = 3;  // EmpireForge — level 4, 1200 kbps, 90 ms
+
+  video::RateAdapterConfig adapter_cfg;
+  adapter_cfg.consecutive_required = 3;
+  // A single stream has no bottleneck-sharing peers, so deterministic and
+  // prompt up-switching makes the walkthrough easy to follow.
+  adapter_cfg.consecutive_up_required = 3;
+  adapter_cfg.up_probability = 1.0;
+  video::StreamSession session(catalog, rts, adapter_cfg);
+
+  // A link that congests in the middle of the session: plenty of headroom,
+  // then a throttled stretch at 600 kbps, then recovery.
+  auto link_kbps = [](int t) -> double {
+    if (t < 20) return 2000.0;
+    if (t < 50) return 600.0;  // congestion episode
+    return 2500.0;             // recovery
+  };
+
+  util::Table table("Receiver-driven adaptation on a congested mobile link");
+  table.set_header({"t (s)", "link (kbps)", "encoding (kbps)", "quality", "continuity"});
+  for (int t = 0; t < 80; t += 2) {
+    video::PathObservation path;
+    path.response_latency_ms = 60.0;
+    path.video_latency_ms = 25.0;
+    path.jitter_mean_ms = 8.0;
+    path.throughput_kbps = link_kbps(t);
+    path.interval_s = 2.0;
+    const auto sample = session.observe(path);
+    if (t % 8 == 0) {
+      table.add_row({std::to_string(t), util::format_double(link_kbps(t), 0),
+                     util::format_double(sample.bitrate_kbps, 0),
+                     std::to_string(session.current_quality_level()),
+                     util::format_double(sample.continuity, 3)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "Session continuity: " << util::format_double(session.session_continuity(), 3)
+            << (session.satisfied() ? " (satisfied)" : " (not satisfied)") << "\n"
+            << "The adapter trades resolution for fluency during the congested\n"
+               "stretch instead of letting the buffer starve.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// End-to-end event-driven CloudFog session, entirely on the message layer:
+// a player joins through the §3.2.1 conversation, streams game video over
+// the supernode's contended uplink, the supernode dies mid-game, the
+// §3.2.2 liveness monitor detects it, and the player migrates and resumes
+// — the life of one thin client, timestamp by timestamp.
+//
+//   $ ./overlay_session
+#include <iostream>
+
+#include "overlay/join_session.hpp"
+#include "overlay/stream_channel.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cloudfog;
+
+  sim::Simulator sim;
+  const net::LatencyModel latency{net::LatencyModelConfig{}};
+  overlay::MessageNetwork network(sim, latency);
+
+  // World: a cloud directory far away, two supernodes in the player's
+  // metro, and the player on a residential line.
+  overlay::CloudDirectoryAgent directory(network,
+                                         net::make_infrastructure_endpoint({2400.0, 600.0}));
+  overlay::SupernodeAgent primary(network, net::Endpoint{{12.0, 3.0}, 2.5}, 8);
+  overlay::SupernodeAgent backup(network, net::Endpoint{{18.0, 7.0}, 3.0}, 8);
+  directory.admit(primary.address(), net::GeoPoint{12.0, 3.0});
+  directory.admit(backup.address(), net::GeoPoint{18.0, 7.0});
+  overlay::PlayerAgent player(sim, network, net::Endpoint{{0.0, 0.0}, 7.0});
+
+  // Uplinks and the player's stream scorekeeper (90 ms budget RTS).
+  overlay::UplinkScheduler primary_uplink(sim, 16000.0);
+  overlay::UplinkScheduler backup_uplink(sim, 16000.0);
+  overlay::StreamReceiver receiver(90.0);
+  video::FrameEncoderConfig enc;
+  enc.bitrate_kbps = 1200.0;
+  std::unique_ptr<overlay::VideoStreamer> stream;
+
+  util::Table log("One thin client's evening (simulated timestamps)");
+  log.set_header({"t (s)", "event"});
+  auto note = [&](const std::string& what) {
+    log.add_row({util::format_double(sim.now(), 3), what});
+  };
+
+  auto start_stream = [&](overlay::Address sn, overlay::UplinkScheduler& uplink) {
+    overlay::StreamPath path;
+    path.one_way_ms = latency.one_way_ms(network.endpoint_of(sn),
+                                         network.endpoint_of(player.address()));
+    stream = std::make_unique<overlay::VideoStreamer>(sim, uplink, enc, path, receiver,
+                                                      util::Rng(5));
+    stream->start();
+  };
+
+  auto watch_primary = [&] {
+    overlay::ProbeMonitorConfig mon;
+    mon.period_ms = 250.0;
+    player.watch(primary.address(), mon, [&](double) {
+      note("liveness monitor declares the supernode dead");
+      stream->stop();
+      player.stop_watching();
+      player.join(directory.address(), overlay::JoinConfig{}, nullptr,
+                  [&](const overlay::JoinResult& r) {
+                    note("migrated to a new supernode in " +
+                         util::format_double(r.join_latency_ms, 0) + " ms of protocol time");
+                    start_stream(r.supernode, backup_uplink);
+                  },
+                  util::Rng(6));
+    });
+  };
+
+  note("player joins the system");
+  player.join(directory.address(), overlay::JoinConfig{}, nullptr,
+              [&](const overlay::JoinResult& r) {
+                note("connected to supernode after " +
+                     util::format_double(r.join_latency_ms, 0) + " ms (" +
+                     std::to_string(r.probes) + " probes, " +
+                     std::to_string(r.capacity_asks) + " capacity asks)");
+                start_stream(r.supernode, primary_uplink);
+                watch_primary();
+              },
+              util::Rng(4));
+
+  // Twenty minutes in, the contributed desktop is switched off.
+  sim.schedule_in(1200.0, [&] {
+    note("supernode owner pulls the plug");
+    primary.fail();
+  });
+
+  sim.run_until(2400.0);
+  stream->stop();
+  sim.run();
+  note("session ends; packet continuity " + util::format_double(receiver.continuity(), 4) +
+       " over " + std::to_string(receiver.packets()) + " packets");
+  log.print(std::cout);
+
+  std::cout << "The paper's Fig. 9 story: failure detection plus re-selection costs\n"
+               "about a second of protocol time (most of it probing the dead node,\n"
+               "which the stale directory still advertises) — and the game never\n"
+               "restarts.\n";
+  return 0;
+}

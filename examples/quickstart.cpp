@@ -1,0 +1,55 @@
+// Quickstart: build a small world, run CloudFog with all strategies for a
+// week of simulated days, and print the headline QoS numbers next to the
+// plain-cloud baseline.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "core/testbed.hpp"
+
+int main() {
+  using namespace cloudfog;
+
+  // 1. Build a testbed: 2 000 players, 5 datacenters, LoL-like latencies.
+  const core::Testbed testbed(core::TestbedConfig::peersim(2000), /*seed=*/7);
+
+  // 2. Instantiate the systems under test.
+  core::System cloudfog = core::make_cloudfog_advanced(testbed, 7);
+  core::System cloud = core::make_cloud_system(testbed, 7);
+
+  // 3. Run one week with two warm-up days.
+  sim::CycleConfig week;
+  week.total_cycles = 7;
+  week.warmup_cycles = 2;
+  const core::RunMetrics& fog_metrics = cloudfog.run(week);
+  const core::RunMetrics& cloud_metrics = cloud.run(week);
+
+  // 4. Compare.
+  util::Table table("CloudFog vs plain cloud gaming — one simulated week");
+  table.set_header({"metric", "CloudFog/A", "Cloud"});
+  table.add_row({"avg response latency (ms)",
+                 util::format_double(fog_metrics.response_latency_ms.mean(), 1),
+                 util::format_double(cloud_metrics.response_latency_ms.mean(), 1)});
+  table.add_row({"avg playback continuity",
+                 util::format_double(fog_metrics.continuity.mean(), 3),
+                 util::format_double(cloud_metrics.continuity.mean(), 3)});
+  table.add_row({"satisfied players (%)",
+                 util::format_double(fog_metrics.satisfied_fraction.mean() * 100, 1),
+                 util::format_double(cloud_metrics.satisfied_fraction.mean() * 100, 1)});
+  table.add_row({"cloud egress (Mbps)",
+                 util::format_double(fog_metrics.cloud_egress_mbps.mean(), 1),
+                 util::format_double(cloud_metrics.cloud_egress_mbps.mean(), 1)});
+  table.add_row({"players served by fog (%)",
+                 util::format_double(fog_metrics.fog_served_fraction.mean() * 100, 1), "0.0"});
+  table.add_row({"mean opinion score (1-5)",
+                 util::format_double(fog_metrics.mos.mean(), 2),
+                 util::format_double(cloud_metrics.mos.mean(), 2)});
+  table.print(std::cout);
+
+  std::cout << "Fog offloads the video streams: latency drops, continuity rises,\n"
+               "and the cloud pays for update feeds instead of full game videos.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Virtual-world scaling walkthrough: the cloud-side substrate.
+//
+// An MMOG night: avatars pile into hotspot towns, the kd-tree partitioner
+// keeps the game-state servers balanced where a static grid collapses,
+// and the state engine reports the tick critical path plus the update
+// feed a supernode would subscribe to (the Λ of the paper's cost model).
+//
+//   $ ./world_partition
+#include <iostream>
+
+#include "util/table.hpp"
+#include "world/state_engine.hpp"
+
+int main() {
+  using namespace cloudfog;
+
+  world::WorldConfig wcfg;
+  wcfg.hotspot_fraction = 0.85;  // busy towns, empty wilderness
+  world::VirtualWorld vw(wcfg, util::Rng(17));
+  for (int i = 0; i < 6000; ++i) vw.spawn();
+
+  // Compare the partitioners on the skewed population.
+  const std::size_t servers = 10;
+  const auto kd = world::build_kdtree_partition(vw, 64, servers);
+  const auto grid = world::build_grid_partition(vw, 8, 8, servers);
+  util::Table cmp("kd-tree vs uniform grid, 6 000 avatars on 10 servers");
+  cmp.set_header({"partitioner", "load imbalance (max/mean)", "cross-server interactions"});
+  cmp.add_row({"kd-tree (median splits)",
+               util::format_double(world::WorldPartition::imbalance(
+                                       kd.server_loads(vw, servers)), 2),
+               util::format_double(kd.cross_server_interaction_fraction(vw) * 100, 1) + " %"});
+  cmp.add_row({"8x8 grid",
+               util::format_double(world::WorldPartition::imbalance(
+                                       grid.server_loads(vw, servers)), 2),
+               util::format_double(grid.cross_server_interaction_fraction(vw) * 100, 1) + " %"});
+  cmp.print(std::cout);
+
+  // Run the state engine for a simulated minute of 10 Hz ticks.
+  world::StateEngineConfig scfg;
+  scfg.server_count = servers;
+  world::GameStateEngine engine(vw, scfg);
+  util::Table ticks("Game-state engine, one simulated minute (10 Hz ticks)");
+  ticks.set_header({"t (s)", "compute (ms)", "interactions", "cross-server", "imbalance"});
+  for (int t = 0; t < 600; ++t) {
+    const auto stats = engine.tick(0.1);
+    if (t % 100 == 0) {
+      ticks.add_row({util::format_double(t * 0.1, 0),
+                     util::format_double(stats.compute_ms, 2),
+                     std::to_string(stats.interactions),
+                     std::to_string(stats.cross_server_interactions),
+                     util::format_double(stats.imbalance, 2)});
+    }
+  }
+  ticks.print(std::cout);
+
+  // What the cloud streams to one supernode whose players live near the
+  // densest hotspot — the physical grounding of Λ.
+  double busiest = 0.0;
+  for (const auto& avatar : vw.avatars()) {
+    busiest = std::max(busiest, engine.update_feed_bps(avatar.position, 800.0, 10.0));
+  }
+  std::cout << "Update feed for a supernode at the busiest hotspot: "
+            << util::format_double(busiest / 1000.0, 1) << " kbps (the paper's Λ).\n"
+            << "The kd-tree keeps every state server near mean load, so the tick's\n"
+               "critical path — and with it the response latency — stays flat.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/cloud.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::core {
+
+Cloud::Cloud(std::vector<DatacenterState> datacenters, const net::LatencyModel& latency,
+             net::IpLocator locator)
+    : datacenters_(std::move(datacenters)), latency_(latency), locator_(std::move(locator)) {
+  CLOUDFOG_REQUIRE(!datacenters_.empty(), "cloud needs at least one datacenter");
+}
+
+DatacenterState& Cloud::datacenter(std::size_t i) {
+  CLOUDFOG_REQUIRE(i < datacenters_.size(), "datacenter index out of range");
+  return datacenters_[i];
+}
+
+const DatacenterState& Cloud::datacenter(std::size_t i) const {
+  CLOUDFOG_REQUIRE(i < datacenters_.size(), "datacenter index out of range");
+  return datacenters_[i];
+}
+
+std::size_t Cloud::nearest_datacenter(const net::Endpoint& who) const {
+  std::size_t best = 0;
+  double best_rtt = latency_.rtt_ms(who, datacenters_[0].endpoint);
+  for (std::size_t i = 1; i < datacenters_.size(); ++i) {
+    const double rtt = latency_.rtt_ms(who, datacenters_[i].endpoint);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Cloud::register_supernode(SupernodeState& sn, util::Rng& rng) {
+  sn.ip = locator_.register_node(sn.endpoint.position, rng);
+}
+
+void Cloud::unregister_supernode(const SupernodeState& sn) {
+  locator_.unregister_node(sn.ip);
+}
+
+std::vector<std::size_t> Cloud::candidate_supernodes(
+    const net::Endpoint& player, const std::vector<SupernodeState>& fleet,
+    std::size_t count) const {
+  struct Scored {
+    std::size_t index;
+    double distance_km;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const SupernodeState& sn = fleet[i];
+    if (!sn.accepting()) continue;
+    // Distance via the registry's (noisy) geolocation — the cloud does not
+    // know the supernode's true position, only what its IP resolves to.
+    const auto located = locator_.locate(sn.ip);
+    const net::GeoPoint where = located.value_or(sn.endpoint.position);
+    scored.push_back(Scored{i, net::distance_km(player.position, where)});
+  }
+  const std::size_t take = std::min(count, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(),
+                    [](const Scored& a, const Scored& b) { return a.distance_km < b.distance_km; });
+  std::vector<std::size_t> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(scored[i].index);
+  return out;
+}
+
+}  // namespace cloudfog::core

@@ -1,0 +1,58 @@
+// The cloud: datacenters plus the supernode registry (paper §3.2.1).
+//
+// The cloud "stores the information of supernodes in the system in a table
+// including their IP addresses and available capacities. When a newly
+// joined node requests a supernode, the cloud returns a number of
+// supernodes that have available capacities and are physically close to
+// the player" — closeness judged by IP geolocation, which is deliberately
+// noisy here (see net::IpLocator), so the player's own RTT probing still
+// has work to do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entities.hpp"
+#include "net/ip_locator.hpp"
+#include "net/latency_model.hpp"
+
+namespace cloudfog::core {
+
+class Cloud {
+ public:
+  Cloud(std::vector<DatacenterState> datacenters, const net::LatencyModel& latency,
+        net::IpLocator locator);
+
+  std::size_t datacenter_count() const { return datacenters_.size(); }
+  DatacenterState& datacenter(std::size_t i);
+  const DatacenterState& datacenter(std::size_t i) const;
+  std::vector<DatacenterState>& datacenters() { return datacenters_; }
+  const std::vector<DatacenterState>& datacenters() const { return datacenters_; }
+
+  /// Index of the datacenter with the lowest RTT to `who` — where the
+  /// player's game state lives and where direct streaming comes from.
+  std::size_t nearest_datacenter(const net::Endpoint& who) const;
+
+  /// Registers a supernode in the table (geolocating its IP).
+  void register_supernode(SupernodeState& sn, util::Rng& rng);
+
+  /// Removes a supernode from the table.
+  void unregister_supernode(const SupernodeState& sn);
+
+  /// §3.2.1 candidate lookup: among supernodes that are deployed, alive
+  /// and have spare capacity, the `count` closest to the player by
+  /// geolocated distance. Returns supernode indices into `fleet`.
+  std::vector<std::size_t> candidate_supernodes(const net::Endpoint& player,
+                                                const std::vector<SupernodeState>& fleet,
+                                                std::size_t count) const;
+
+  const net::IpLocator& locator() const { return locator_; }
+  const net::LatencyModel& latency() const { return latency_; }
+
+ private:
+  std::vector<DatacenterState> datacenters_;
+  const net::LatencyModel& latency_;
+  net::IpLocator locator_;
+};
+
+}  // namespace cloudfog::core

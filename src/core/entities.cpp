@@ -1,0 +1,3 @@
+// entities.hpp holds plain aggregates; this translation unit compiles the
+// header standalone (catches missing includes).
+#include "core/entities.hpp"

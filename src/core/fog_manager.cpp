@@ -1,0 +1,139 @@
+#include "core/fog_manager.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::core {
+
+FogManager::FogManager(FogManagerConfig cfg, const Cloud& cloud,
+                       const net::LatencyModel& latency)
+    : cfg_(cfg), cloud_(cloud), latency_(latency) {
+  CLOUDFOG_REQUIRE(cfg.candidate_count >= 1, "need at least one candidate");
+  CLOUDFOG_REQUIRE(cfg.lmax_fraction_of_requirement > 0.0, "L_max fraction must be positive");
+  CLOUDFOG_REQUIRE(cfg.detection_timeout_ms >= 0.0, "negative detection timeout");
+}
+
+SelectionOutcome FogManager::try_candidates(PlayerState& player,
+                                            std::vector<SupernodeState>& fleet,
+                                            const std::vector<std::size_t>& candidates,
+                                            double lmax_ms, int current_day,
+                                            bool reputation_enabled, util::Rng& rng) const {
+  SelectionOutcome out;
+
+  // Step 2: probe every candidate; drop those whose one-way transmission
+  // delay exceeds L_max. Probes run in parallel, so the protocol pays the
+  // slowest probe round-trip once.
+  struct Probed {
+    std::size_t index;
+    double rtt_ms;
+    double score;
+  };
+  std::vector<Probed> qualified;
+  double slowest_probe = 0.0;
+  for (std::size_t idx : candidates) {
+    const SupernodeState& sn = fleet[idx];
+    if (!sn.deployed || sn.failed) continue;
+    const double rtt = latency_.rtt_ms(player.info.endpoint, sn.endpoint);
+    ++out.probes;
+    slowest_probe = std::max(slowest_probe, rtt);
+    if (rtt / 2.0 <= lmax_ms) {
+      qualified.push_back(Probed{idx, rtt, player.reputation.score(idx, current_day)});
+    }
+  }
+  out.join_latency_ms += slowest_probe;
+
+  // Step 3: order by reputation (or randomly without the strategy).
+  if (reputation_enabled) {
+    std::stable_sort(qualified.begin(), qualified.end(),
+                     [](const Probed& a, const Probed& b) { return a.score > b.score; });
+  } else {
+    std::shuffle(qualified.begin(), qualified.end(), rng);
+  }
+
+  // Step 4: sequential capacity claims — each costs one RTT.
+  for (const Probed& cand : qualified) {
+    SupernodeState& sn = fleet[cand.index];
+    ++out.capacity_asks;
+    out.join_latency_ms += cand.rtt_ms;
+    if (sn.accepting()) {
+      ++sn.served;
+      player.serving = ServingRef{ServingKind::kSupernode, cand.index};
+      out.serving = player.serving;
+      out.join_latency_ms += cfg_.connect_setup_ms;
+      return out;
+    }
+  }
+
+  out.serving = ServingRef{};  // caller decides the cloud fallback
+  return out;
+}
+
+SelectionOutcome FogManager::select_supernode(PlayerState& player,
+                                              std::vector<SupernodeState>& fleet,
+                                              const game::GameCatalog& catalog,
+                                              int current_day, bool reputation_enabled,
+                                              util::Rng& rng) const {
+  // Step 1: candidate lookup at the cloud — one RTT to the nearest DC.
+  const std::size_t dc = cloud_.nearest_datacenter(player.info.endpoint);
+  const double cloud_rtt =
+      latency_.rtt_ms(player.info.endpoint, cloud_.datacenter(dc).endpoint);
+
+  player.candidate_supernodes =
+      cloud_.candidate_supernodes(player.info.endpoint, fleet, cfg_.candidate_count);
+
+  const double lmax_ms = catalog.game(player.game).latency_requirement_ms *
+                         cfg_.lmax_fraction_of_requirement;
+  SelectionOutcome out = try_candidates(player, fleet, player.candidate_supernodes, lmax_ms,
+                                        current_day, reputation_enabled, rng);
+  out.join_latency_ms += cloud_rtt;
+
+  if (!out.serving.attached()) {
+    // Step 5: no supernode accepted — stream directly from the cloud.
+    player.serving = ServingRef{ServingKind::kCloud, dc};
+    out.serving = player.serving;
+    out.join_latency_ms += cfg_.connect_setup_ms;
+  }
+  return out;
+}
+
+SelectionOutcome FogManager::migrate(PlayerState& player, std::vector<SupernodeState>& fleet,
+                                     const game::GameCatalog& catalog, int current_day,
+                                     bool reputation_enabled, util::Rng& rng) const {
+  const double lmax_ms = catalog.game(player.game).latency_requirement_ms *
+                         cfg_.lmax_fraction_of_requirement;
+
+  // Failure detection: the periodic probe has to time out first.
+  SelectionOutcome out = try_candidates(player, fleet, player.candidate_supernodes, lmax_ms,
+                                        current_day, reputation_enabled, rng);
+  out.join_latency_ms += cfg_.detection_timeout_ms;
+
+  if (!out.serving.attached()) {
+    // Candidate cache exhausted — run the full protocol via the cloud.
+    SelectionOutcome full = select_supernode(player, fleet, catalog, current_day,
+                                             reputation_enabled, rng);
+    full.join_latency_ms += out.join_latency_ms;
+    full.probes += out.probes;
+    full.capacity_asks += out.capacity_asks;
+    return full;
+  }
+  return out;
+}
+
+void FogManager::release(PlayerState& player, std::vector<SupernodeState>& fleet) const {
+  // Datacenter / CDN load tallies are recomputed from assignments each
+  // subcycle by the QoS engine; only supernode seat counts are live state.
+  if (player.serving.kind == ServingKind::kSupernode) {
+    SupernodeState& sn = fleet[player.serving.index];
+    CLOUDFOG_REQUIRE(sn.served > 0, "supernode load underflow");
+    --sn.served;
+  }
+  player.serving = ServingRef{};
+}
+
+double FogManager::supernode_join_latency_ms(const SupernodeState& sn) const {
+  const std::size_t dc = cloud_.nearest_datacenter(sn.endpoint);
+  return latency_.rtt_ms(sn.endpoint, cloud_.datacenter(dc).endpoint) + cfg_.connect_setup_ms;
+}
+
+}  // namespace cloudfog::core

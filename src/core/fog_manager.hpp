@@ -1,0 +1,92 @@
+// Fog management: supernode selection, player/supernode churn handling
+// (paper §3.2).
+//
+// Selection protocol for a joining player:
+//   1. ask the cloud for the `candidate_count` geographically closest
+//      supernodes with spare capacity;
+//   2. probe RTT to each; drop candidates above the game's threshold
+//      L_max (the game's latency requirement);
+//   3. order the survivors by this player's private reputation score
+//      (descending) — or randomly when the reputation strategy is off;
+//   4. sequentially ask each for capacity; connect to the first that still
+//      has room (capacity may vanish between lookup and claim);
+//   5. if none accepts, fall back to direct cloud streaming.
+//
+// The manager also estimates the wall-clock cost of each operation as the
+// sum of the message round-trips it performs — these are the Fig. 9 join
+// and migration latencies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "core/entities.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::core {
+
+struct FogManagerConfig {
+  std::size_t candidate_count = 8;
+  /// L_max: a probed supernode is kept only if its one-way transmission
+  /// delay to the player is within the game's latency requirement times
+  /// this fraction — a supernode that alone eats the whole budget cannot
+  /// possibly stream in time (§3.2.1).
+  double lmax_fraction_of_requirement = 1.0;
+  /// How long a disconnected player waits before declaring its supernode
+  /// dead (probe period; §3.2.2 "normal nodes probe their supernodes
+  /// periodically").
+  double detection_timeout_ms = 500.0;
+  /// Fixed handshake cost of establishing a streaming session (ms).
+  double connect_setup_ms = 50.0;
+};
+
+struct SelectionOutcome {
+  ServingRef serving;          ///< supernode or cloud fallback
+  double join_latency_ms = 0;  ///< simulated protocol time
+  int probes = 0;              ///< RTT probes issued
+  int capacity_asks = 0;       ///< sequential capacity claims attempted
+};
+
+class FogManager {
+ public:
+  FogManager(FogManagerConfig cfg, const Cloud& cloud, const net::LatencyModel& latency);
+
+  const FogManagerConfig& config() const { return cfg_; }
+
+  /// Runs the full §3.2.1 protocol for `player`. Mutates the chosen
+  /// supernode's load and the player's serving ref + candidate cache.
+  /// `reputation_enabled` toggles step 3; `current_day` ages ratings.
+  SelectionOutcome select_supernode(PlayerState& player,
+                                    std::vector<SupernodeState>& fleet,
+                                    const game::GameCatalog& catalog, int current_day,
+                                    bool reputation_enabled, util::Rng& rng) const;
+
+  /// §3.2.2 migration: the serving supernode failed. Tries the cached
+  /// candidate list first, then the full protocol. Returns the outcome
+  /// with latency including failure detection.
+  SelectionOutcome migrate(PlayerState& player, std::vector<SupernodeState>& fleet,
+                           const game::GameCatalog& catalog, int current_day,
+                           bool reputation_enabled, util::Rng& rng) const;
+
+  /// Detaches a player from its current serving entity (frees the
+  /// supernode seat; datacenter/CDN tallies are engine-recomputed).
+  void release(PlayerState& player, std::vector<SupernodeState>& fleet) const;
+
+  /// Simulated time for a new supernode to join the fog: one RTT to the
+  /// cloud plus registration processing.
+  double supernode_join_latency_ms(const SupernodeState& sn) const;
+
+ private:
+  /// Steps 2–5 over an explicit candidate list; shared by select/migrate.
+  SelectionOutcome try_candidates(PlayerState& player, std::vector<SupernodeState>& fleet,
+                                  const std::vector<std::size_t>& candidates,
+                                  double lmax_ms, int current_day, bool reputation_enabled,
+                                  util::Rng& rng) const;
+
+  FogManagerConfig cfg_;
+  const Cloud& cloud_;
+  const net::LatencyModel& latency_;
+};
+
+}  // namespace cloudfog::core

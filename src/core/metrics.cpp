@@ -1,0 +1,20 @@
+#include "core/metrics.hpp"
+
+namespace cloudfog::core {
+
+void MetricsCollector::record_subcycle(const SubcycleQos& qos, bool warmup) {
+  if (warmup) return;
+  ++recorded_subcycles_;
+  metrics_.cloud_egress_mbps.add(qos.cloud_egress_mbps);
+  metrics_.online_sessions.add(static_cast<double>(qos.online_sessions));
+  if (qos.online_sessions == 0) return;  // QoS ratios are undefined with nobody online
+  metrics_.response_latency_ms.add(qos.avg_response_latency_ms);
+  metrics_.server_latency_ms.add(qos.avg_server_latency_ms);
+  metrics_.continuity.add(qos.avg_continuity);
+  metrics_.satisfied_fraction.add(qos.satisfied_fraction);
+  metrics_.mos.add(qos.avg_mos);
+  metrics_.fog_served_fraction.add(static_cast<double>(qos.fog_served) /
+                                   static_cast<double>(qos.online_sessions));
+}
+
+}  // namespace cloudfog::core

@@ -1,0 +1,56 @@
+// Run-level metrics collection.
+//
+// The paper reports averages over the post-warm-up cycles (§4.1: 28 cycles,
+// the first 21 warm-up). MetricsCollector accumulates SubcycleQos snapshots
+// only when the subcycle is outside the warm-up window, plus the
+// event-level latency samples of Fig. 9 (join / migration / assignment).
+#pragma once
+
+#include <cstddef>
+
+#include "core/qos_engine.hpp"
+#include "util/stats.hpp"
+
+namespace cloudfog::core {
+
+struct RunMetrics {
+  util::RunningStats response_latency_ms;
+  util::RunningStats server_latency_ms;
+  util::RunningStats continuity;
+  util::RunningStats satisfied_fraction;
+  util::RunningStats mos;  ///< QoE extension: mean opinion score, 1–5
+  util::RunningStats cloud_egress_mbps;
+  util::RunningStats fog_served_fraction;
+  util::RunningStats online_sessions;
+
+  util::SampleSet player_join_latency_ms;
+  util::SampleSet supernode_join_latency_ms;
+  util::SampleSet migration_latency_ms;
+  util::SampleSet server_assignment_seconds;
+};
+
+class MetricsCollector {
+ public:
+  /// Accumulates one subcycle's QoS; ignored while `warmup` is true.
+  void record_subcycle(const SubcycleQos& qos, bool warmup);
+
+  /// Event-level samples (recorded regardless of warm-up — Fig. 9 measures
+  /// them under churn, which is heaviest early on).
+  void record_player_join(double latency_ms) { metrics_.player_join_latency_ms.add(latency_ms); }
+  void record_supernode_join(double latency_ms) {
+    metrics_.supernode_join_latency_ms.add(latency_ms);
+  }
+  void record_migration(double latency_ms) { metrics_.migration_latency_ms.add(latency_ms); }
+  void record_server_assignment(double seconds) {
+    metrics_.server_assignment_seconds.add(seconds);
+  }
+
+  const RunMetrics& metrics() const { return metrics_; }
+  std::size_t recorded_subcycles() const { return recorded_subcycles_; }
+
+ private:
+  RunMetrics metrics_;
+  std::size_t recorded_subcycles_ = 0;
+};
+
+}  // namespace cloudfog::core

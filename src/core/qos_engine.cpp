@@ -1,0 +1,307 @@
+#include "core/qos_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "video/continuity.hpp"
+
+namespace cloudfog::core {
+
+QosEngine::QosEngine(QosEngineConfig cfg, const net::LatencyModel& latency,
+                     const game::GameCatalog& catalog)
+    : cfg_(cfg), latency_(latency), catalog_(catalog) {
+  CLOUDFOG_REQUIRE(cfg.substeps >= 1, "need at least one substep");
+  CLOUDFOG_REQUIRE(cfg.substep_seconds > 0.0, "substep length must be positive");
+  CLOUDFOG_REQUIRE(cfg.burst_headroom >= 1.0, "burst headroom below 1");
+  CLOUDFOG_REQUIRE(cfg.base_jitter_ms > 0.0, "jitter mean must be positive");
+}
+
+double QosEngine::EntityLoad::utilization() const {
+  if (offered_mbps <= 0.0) return 1.0;
+  return std::min(1.0, (demanded_kbps / 1000.0) / offered_mbps);
+}
+
+double QosEngine::EntityLoad::queue_factor(double cap) const {
+  const double u = std::min(utilization(), 0.99);
+  return std::min(cap, u / (1.0 - u));
+}
+
+double QosEngine::EntityLoad::share_kbps(double bitrate_kbps) const {
+  if (offered_mbps <= 0.0) return 0.0;
+  const double offered_kbps = offered_mbps * 1000.0;
+  if (demanded_kbps <= offered_kbps) return offered_kbps;  // unsaturated
+  return bitrate_kbps * offered_kbps / demanded_kbps;      // proportional share
+}
+
+const net::Endpoint& QosEngine::serving_endpoint(const ServingRef& ref,
+                                                 const std::vector<SupernodeState>& fleet,
+                                                 const Cloud& cloud,
+                                                 const std::vector<CdnServerState>& cdn) const {
+  switch (ref.kind) {
+    case ServingKind::kSupernode:
+      return fleet[ref.index].endpoint;
+    case ServingKind::kCloud:
+      return cloud.datacenter(ref.index).endpoint;
+    case ServingKind::kCdn:
+      return cdn[ref.index].endpoint;
+    case ServingKind::kNone:
+      break;
+  }
+  CLOUDFOG_REQUIRE(false, "player has no serving entity");
+  return cloud.datacenter(0).endpoint;  // unreachable
+}
+
+double QosEngine::base_latency_ms(const PlayerState& player, const ServingRef& ref,
+                                  const std::vector<SupernodeState>& fleet,
+                                  const Cloud& cloud,
+                                  const std::vector<CdnServerState>& cdn) const {
+  // Response-latency accounting follows the paper's §3.1: the upstream
+  // action message and the cloud→supernode update are small and fast
+  // ("uploading from the players to the cloud does not seriously affect
+  // the response latency"); the downstream video delivery dominates. So
+  // response = playout/processing + state computation + inter-server
+  // communication + (rendering) + the video's one-way path; the caller
+  // adds the load-dependent transfer term.
+  const net::Endpoint& p = player.info.endpoint;
+  double lat = cfg_.playout_processing_ms + cfg_.state_compute_ms;
+  switch (ref.kind) {
+    case ServingKind::kCloud: {
+      const net::Endpoint& dc = cloud.datacenter(ref.index).endpoint;
+      lat += player.cross_server_ms;         // inter-server state sync
+      lat += latency_.one_way_ms(dc, p);     // video down
+      break;
+    }
+    case ServingKind::kSupernode: {
+      const net::Endpoint& sn = fleet[ref.index].endpoint;
+      lat += player.cross_server_ms;
+      lat += cfg_.render_ms;                 // supernode renders the frame
+      lat += latency_.one_way_ms(sn, p);     // video to the player
+      break;
+    }
+    case ServingKind::kCdn: {
+      const net::Endpoint& edge = cdn[ref.index].endpoint;
+      // EdgeCloud computes game state at the edge: interacting players sit
+      // on different CDN servers, so every response waits on a wide-area
+      // state-sync round between edge servers (§2: the improvement of CDN
+      // "is not significant because the servers need to cooperate").
+      lat += cfg_.cdn_cooperation_ms;
+      lat += cfg_.render_ms;
+      lat += latency_.one_way_ms(edge, p);   // video down
+      break;
+    }
+    case ServingKind::kNone:
+      CLOUDFOG_REQUIRE(false, "player has no serving entity");
+  }
+  return lat;
+}
+
+double QosEngine::unloaded_response_latency_ms(const PlayerState& player,
+                                               const ServingRef& ref,
+                                               const std::vector<SupernodeState>& fleet,
+                                               const Cloud& cloud,
+                                               const std::vector<CdnServerState>& cdn,
+                                               double bitrate_kbps) const {
+  const double base = base_latency_ms(player, ref, fleet, cloud, cdn);
+  const net::Endpoint& e = serving_endpoint(ref, fleet, cloud, cdn);
+  const double rtt = latency_.rtt_ms(player.info.endpoint, e);
+  const double throughput_kbps =
+      std::min(latency_.wan_throughput_mbps(rtt), player.info.bandwidth.download_mbps) * 1000.0;
+  const double transfer_ms =
+      game::frame_bits(bitrate_kbps) / std::max(1.0, throughput_kbps * 1000.0) * 1000.0;
+  return base + transfer_ms;
+}
+
+SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
+                                    std::vector<SupernodeState>& fleet, Cloud& cloud,
+                                    std::vector<CdnServerState>& cdn) const {
+  SubcycleQos out;
+
+  // Per-player accumulators across substeps.
+  struct Acc {
+    double latency_sum = 0.0;
+    double continuity_sum = 0.0;
+    double bitrate_sum = 0.0;
+    int samples = 0;
+  };
+  std::vector<Acc> acc(players.size());
+
+  double egress_sum_mbps = 0.0;
+  double server_latency_sum = 0.0;
+  std::size_t server_latency_samples = 0;
+
+  for (int step = 0; step < cfg_.substeps; ++step) {
+    // Pass 1: demand tallies (bitrates may have adapted last substep).
+    for (auto& sn : fleet) sn.demanded_kbps = 0.0;
+    for (auto& dc : cloud.datacenters()) {
+      dc.demanded_kbps = 0.0;
+      dc.direct_players = 0;
+    }
+    for (auto& edge : cdn) edge.demanded_kbps = 0.0;
+
+    for (const auto& player : players) {
+      if (!player.online || !player.session.has_value()) continue;
+      const double bitrate = player.session->current_bitrate_kbps();
+      switch (player.serving.kind) {
+        case ServingKind::kSupernode:
+          fleet[player.serving.index].demanded_kbps += bitrate;
+          break;
+        case ServingKind::kCloud: {
+          auto& dc = cloud.datacenter(player.serving.index);
+          dc.demanded_kbps += bitrate;
+          ++dc.direct_players;
+          break;
+        }
+        case ServingKind::kCdn:
+          cdn[player.serving.index].demanded_kbps += bitrate;
+          break;
+        case ServingKind::kNone:
+          break;
+      }
+    }
+
+    // Cloud egress this substep: direct video + update feeds to every
+    // supernode actively serving players. EdgeCloud servers likewise need
+    // a consistency feed to keep their world replicas in sync.
+    double egress_kbps = 0.0;
+    for (const auto& dc : cloud.datacenters()) egress_kbps += dc.demanded_kbps;
+    for (const auto& sn : fleet) {
+      if (sn.deployed && sn.served > 0) egress_kbps += cfg_.update_feed_kbps;
+    }
+    for (const auto& edge : cdn) {
+      if (edge.served > 0) egress_kbps += cfg_.update_feed_kbps;
+    }
+    egress_sum_mbps += egress_kbps / 1000.0;
+
+    // Pass 2: per-session path observation.
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      PlayerState& player = players[i];
+      if (!player.online || !player.session.has_value()) continue;
+      if (!player.serving.attached()) continue;
+
+      EntityLoad load;
+      switch (player.serving.kind) {
+        case ServingKind::kSupernode: {
+          const auto& sn = fleet[player.serving.index];
+          load = EntityLoad{sn.offered_upload_mbps(), sn.demanded_kbps};
+          break;
+        }
+        case ServingKind::kCloud: {
+          const auto& dc = cloud.datacenter(player.serving.index);
+          load = EntityLoad{dc.uplink_mbps, dc.demanded_kbps};
+          break;
+        }
+        case ServingKind::kCdn: {
+          const auto& edge = cdn[player.serving.index];
+          load = EntityLoad{edge.uplink_mbps, edge.demanded_kbps};
+          break;
+        }
+        case ServingKind::kNone:
+          break;
+      }
+
+      const double bitrate = player.session->current_bitrate_kbps();
+      const net::Endpoint& e = serving_endpoint(player.serving, fleet, cloud, cdn);
+      const double rtt = latency_.rtt_ms(player.info.endpoint, e);
+      const double wan_kbps = latency_.wan_throughput_mbps(rtt) * 1000.0;
+      const double down_kbps = player.info.bandwidth.download_mbps * 1000.0;
+      const double share = load.share_kbps(bitrate);
+      // Raw path rate bounds serialization delay; the sustained rate the
+      // adapter/buffer sees is additionally capped at what the sender can
+      // generate (realtime video + a small burst window).
+      const double raw_kbps = std::max(1.0, std::min({wan_kbps, down_kbps, share}));
+      const double throughput_kbps = std::min(raw_kbps, bitrate * cfg_.burst_headroom);
+
+      // Transfer = frame serialization over the path + queueing at the
+      // entity's uplink (M/M/1-style u/(1−u) of the uplink service time).
+      const double frame = game::frame_bits(bitrate);
+      const double queue = load.queue_factor(cfg_.max_queue_factor);
+      const double uplink_kbps = std::max(raw_kbps, load.offered_mbps * 1000.0);
+      const double transfer_ms = frame / (raw_kbps * 1000.0) * 1000.0 +
+                                 queue * frame / (uplink_kbps * 1000.0) * 1000.0;
+      // A malicious supernode's deliberate hold-back (§3.6 extension)
+      // delays both the response and every video packet.
+      const double sabotage_ms = player.serving.kind == ServingKind::kSupernode
+                                     ? fleet[player.serving.index].sabotage_delay_ms
+                                     : 0.0;
+      const double response_ms = base_latency_ms(player, player.serving, fleet, cloud, cdn) +
+                                 transfer_ms + sabotage_ms;
+      // Video packets only traverse entity → player; the action path and
+      // state computation delay the *response*, not packet delivery.
+      const double video_ms =
+          latency_.one_way_ms(e, player.info.endpoint) + transfer_ms + sabotage_ms;
+      const double jitter_ms =
+          cfg_.base_jitter_ms * (1.0 + cfg_.jitter_inflation * load.utilization()) +
+          cfg_.path_jitter_fraction * rtt;
+
+      video::PathObservation path;
+      path.response_latency_ms = response_ms;
+      path.video_latency_ms = video_ms;
+      path.jitter_mean_ms = jitter_ms;
+      path.throughput_kbps = throughput_kbps;
+      path.interval_s = cfg_.substep_seconds;
+      const auto sample = player.session->observe(path);
+
+      acc[i].latency_sum += sample.response_latency_ms;
+      acc[i].continuity_sum += sample.continuity;
+      acc[i].bitrate_sum += sample.bitrate_kbps;
+      ++acc[i].samples;
+
+      if (player.serving.kind != ServingKind::kCdn) {
+        server_latency_sum += player.cross_server_ms;
+        ++server_latency_samples;
+      }
+    }
+  }
+
+  // Aggregate across players.
+  double latency_sum = 0.0;
+  double continuity_sum = 0.0;
+  double mos_sum = 0.0;
+  std::size_t satisfied = 0;
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    const PlayerState& player = players[i];
+    if (!player.online || acc[i].samples == 0) continue;
+    ++out.online_sessions;
+    switch (player.serving.kind) {
+      case ServingKind::kSupernode:
+        ++out.fog_served;
+        break;
+      case ServingKind::kCloud:
+        ++out.cloud_served;
+        break;
+      case ServingKind::kCdn:
+        ++out.cdn_served;
+        break;
+      case ServingKind::kNone:
+        break;
+    }
+    const double avg_lat = acc[i].latency_sum / acc[i].samples;
+    const double avg_cont = acc[i].continuity_sum / acc[i].samples;
+    const double avg_bitrate = acc[i].bitrate_sum / acc[i].samples;
+    latency_sum += avg_lat;
+    continuity_sum += avg_cont;
+    mos_sum += qoe_.mos(avg_lat, std::min(1.0, avg_cont), avg_bitrate);
+    if (avg_cont >= video::kSatisfactionThreshold) ++satisfied;
+
+    // Feed the per-cycle continuity used for end-of-cycle supernode
+    // ratings (§4.1): the player rates what it actually experienced.
+    players[i].cycle_continuity_sum += avg_cont;
+    players[i].cycle_continuity_samples += 1.0;
+  }
+
+  if (out.online_sessions > 0) {
+    out.avg_response_latency_ms = latency_sum / static_cast<double>(out.online_sessions);
+    out.avg_continuity = continuity_sum / static_cast<double>(out.online_sessions);
+    out.avg_mos = mos_sum / static_cast<double>(out.online_sessions);
+    out.satisfied_fraction =
+        static_cast<double>(satisfied) / static_cast<double>(out.online_sessions);
+  }
+  out.avg_server_latency_ms = server_latency_samples == 0
+                                  ? 0.0
+                                  : server_latency_sum / static_cast<double>(server_latency_samples);
+  out.cloud_egress_mbps = egress_sum_mbps / static_cast<double>(cfg_.substeps);
+  return out;
+}
+
+}  // namespace cloudfog::core

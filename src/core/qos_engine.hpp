@@ -1,0 +1,120 @@
+// Per-subcycle QoS evaluation.
+//
+// Given the current player→entity assignments, the engine advances every
+// streaming session through `substeps` adaptation intervals. Each interval
+// it (1) tallies the video bitrate demanded from every serving entity,
+// (2) derives each stream's sustainable throughput — the minimum of the
+// RTT-limited WAN rate, the player's downlink, and a proportional share of
+// the entity's uplink — and the congestion state of the entity, and
+// (3) feeds the resulting path observation to the session, which updates
+// its rate adapter and continuity. Response latency is assembled per
+// architecture:
+//
+//   Cloud direct : playout + state + x-server + dc→p           + transfer
+//   CloudFog     : playout + state + x-server + render + sn→p  + transfer
+//   CDN/EdgeCloud: playout + state + coop     + render + cdn→p + transfer
+//
+// (Upstream action and cloud→supernode update messages are small and fast
+// and are excluded per the paper's §3.1 observation that uploading "does
+// not seriously affect the response latency".)
+//
+// where `transfer` is the frame transmission time inflated by the queueing
+// factor u/(1−u) of the entity's uplink, and jitter (which drives the
+// continuity probability) inflates linearly with utilization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "core/entities.hpp"
+#include "game/game_catalog.hpp"
+#include "net/latency_model.hpp"
+#include "video/qoe.hpp"
+
+namespace cloudfog::core {
+
+struct QosEngineConfig {
+  double playout_processing_ms = 20.0;  ///< client playout + cloud processing
+  double state_compute_ms = 5.0;        ///< game-state computation time
+  double render_ms = 3.0;               ///< video rendering at supernode/CDN
+  /// EdgeCloud inter-server state sync: one wide-area round trip between
+  /// the edge servers hosting two interacting players (~45 ms for
+  /// metro-to-metro distances on this plane).
+  double cdn_cooperation_ms = 45.0;
+  double update_feed_kbps = 200.0;      ///< Λ — cloud→supernode update stream
+  double burst_headroom = 1.5;          ///< sender may run ahead of realtime
+  double max_queue_factor = 4.0;        ///< cap on u/(1−u) inflation
+  double jitter_inflation = 2.0;        ///< jitter multiplier at u = 1
+  double base_jitter_ms = 6.0;          ///< uncongested per-packet jitter mean
+  /// Jitter grows with path length (more queues to cross): the mean gains
+  /// this fraction of the path RTT.
+  double path_jitter_fraction = 0.08;
+  int substeps = 6;                     ///< adaptation intervals per subcycle
+  double substep_seconds = 2.0;         ///< adapter estimation interval
+};
+
+/// Aggregate results of one subcycle (averaged over substeps & sessions).
+struct SubcycleQos {
+  double avg_response_latency_ms = 0.0;
+  double avg_server_latency_ms = 0.0;  ///< the inter-server component alone
+  double avg_continuity = 1.0;
+  double satisfied_fraction = 1.0;  ///< players with subcycle continuity ≥ 95 %
+  double avg_mos = 5.0;             ///< mean opinion score (QoE extension)
+  double cloud_egress_mbps = 0.0;   ///< DC video streams + supernode update feeds
+  std::size_t online_sessions = 0;
+  std::size_t fog_served = 0;
+  std::size_t cloud_served = 0;
+  std::size_t cdn_served = 0;
+};
+
+class QosEngine {
+ public:
+  QosEngine(QosEngineConfig cfg, const net::LatencyModel& latency,
+            const game::GameCatalog& catalog);
+
+  const QosEngineConfig& config() const { return cfg_; }
+
+  /// Advances one subcycle. Mutates sessions (adaptation, continuity) and
+  /// the demand tallies on entities.
+  SubcycleQos run_subcycle(std::vector<PlayerState>& players,
+                           std::vector<SupernodeState>& fleet, Cloud& cloud,
+                           std::vector<CdnServerState>& cdn) const;
+
+  /// Deterministic response latency for a player served by `ref`, at the
+  /// given bitrate, with both endpoints' queueing at zero. Used for
+  /// coverage computation and join-time sanity checks.
+  double unloaded_response_latency_ms(const PlayerState& player, const ServingRef& ref,
+                                      const std::vector<SupernodeState>& fleet,
+                                      const Cloud& cloud,
+                                      const std::vector<CdnServerState>& cdn,
+                                      double bitrate_kbps) const;
+
+ private:
+  struct EntityLoad {
+    double offered_mbps = 0.0;
+    double demanded_kbps = 0.0;
+
+    double utilization() const;
+    double queue_factor(double cap) const;
+    /// Proportional share of the uplink for a stream of `bitrate_kbps`.
+    double share_kbps(double bitrate_kbps) const;
+  };
+
+  /// Latency from propagation and processing only (no transfer/queueing).
+  double base_latency_ms(const PlayerState& player, const ServingRef& ref,
+                         const std::vector<SupernodeState>& fleet, const Cloud& cloud,
+                         const std::vector<CdnServerState>& cdn) const;
+
+  const net::Endpoint& serving_endpoint(const ServingRef& ref,
+                                        const std::vector<SupernodeState>& fleet,
+                                        const Cloud& cloud,
+                                        const std::vector<CdnServerState>& cdn) const;
+
+  QosEngineConfig cfg_;
+  const net::LatencyModel& latency_;
+  const game::GameCatalog& catalog_;
+  video::QoeModel qoe_;
+};
+
+}  // namespace cloudfog::core

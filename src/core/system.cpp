@@ -1,0 +1,521 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::core {
+
+namespace {
+
+social::PartitionerConfig partitioner_config(const SystemConfig& cfg, int total_servers) {
+  social::PartitionerConfig pc;
+  pc.communities = total_servers;
+  pc.max_swap_trials = cfg.partitioner_swap_trials;
+  pc.max_consecutive_miss = cfg.partitioner_miss_limit;
+  return pc;
+}
+
+}  // namespace
+
+System::System(const Testbed& testbed, SystemConfig cfg, std::uint64_t seed)
+    : testbed_(testbed),
+      cfg_(cfg),
+      rng_(util::splitmix64(seed), util::splitmix64(seed ^ 0x5e57e11aULL)),
+      cloud_(testbed.make_datacenters(), testbed.latency(), net::IpLocator{}),
+      fog_(cfg.fog, cloud_, testbed.latency()),
+      qos_([&] {
+        QosEngineConfig qc = cfg.qos;
+        qc.base_jitter_ms = testbed.trace().base_jitter_ms();
+        return qc;
+      }(), testbed.latency(), testbed.catalog()),
+      provisioner_(cfg.provisioning),
+      coplay_(testbed.players().size()),
+      partition_(testbed.players().size(), 0) {
+  cfg_.adapter.enabled = cfg_.strategies.rate_adaptation;
+
+  total_servers_ = static_cast<int>(cloud_.datacenter_count()) *
+                   testbed_.config().servers_per_datacenter;
+  CLOUDFOG_REQUIRE(total_servers_ >= 1, "no game servers");
+
+  // Player runtime state. Each player's private reputation store and
+  // state-datacenter are fixed up front.
+  players_.reserve(testbed_.players().size());
+  for (const PlayerInfo& info : testbed_.players()) {
+    PlayerState state;
+    state.info = info;
+    state.state_dc = cloud_.nearest_datacenter(info.endpoint);
+    players_.push_back(std::move(state));
+  }
+
+  // Architecture-specific entities.
+  if (cfg_.architecture == Architecture::kCloudFog) {
+    fleet_ = testbed_.make_supernode_fleet(cfg_.supernode_count);
+    util::Rng reg_rng = rng_.fork("sn-register");
+    for (auto& sn : fleet_) cloud_.register_supernode(sn, reg_rng);
+
+    // Designated throttlers (§4.1): stable identities whose owners may
+    // limit offered bandwidth in any given cycle.
+    throttle80_.assign(fleet_.size(), 0);
+    throttle50_.assign(fleet_.size(), 0);
+    util::Rng thr_rng = rng_.fork("throttlers");
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      if (thr_rng.chance(cfg_.throttling.fraction_throttle_80)) {
+        throttle80_[i] = 1;
+      } else if (thr_rng.chance(cfg_.throttling.fraction_throttle_50 /
+                                std::max(1e-9, 1.0 - cfg_.throttling.fraction_throttle_80))) {
+        throttle50_[i] = 1;
+      }
+    }
+
+    // §3.6 extension: malicious supernodes that hold back video packets.
+    if (cfg_.malicious.fraction > 0.0) {
+      util::Rng mal_rng = rng_.fork("malicious");
+      for (auto& sn : fleet_) {
+        if (mal_rng.chance(cfg_.malicious.fraction)) {
+          sn.sabotage_delay_ms = cfg_.malicious.delay_ms;
+        }
+      }
+    }
+
+    if (!fleet_.empty()) {
+      double cap_sum = 0.0;
+      for (const auto& sn : fleet_) cap_sum += sn.capacity;
+      mean_fleet_capacity_ = cap_sum / static_cast<double>(fleet_.size());
+    }
+
+    // Initial deployment: the fixed pool (CloudFog/B) or everything.
+    base_deployment_ = cfg_.fixed_deployment == 0
+                           ? fleet_.size()
+                           : std::min(cfg_.fixed_deployment, fleet_.size());
+    for (std::size_t i = 0; i < fleet_.size(); ++i) fleet_[i].deployed = i < base_deployment_;
+  } else if (cfg_.architecture == Architecture::kCdn) {
+    cdn_ = testbed_.make_cdn_servers(cfg_.cdn_server_count);
+  }
+
+  // Initial server placement: random; the social strategy re-partitions
+  // on its weekly cadence (and once up front so day 1 benefits).
+  util::Rng part_rng = rng_.fork("initial-partition");
+  for (auto& server : partition_) {
+    server = static_cast<social::CommunityId>(part_rng.uniform_int(0, total_servers_ - 1));
+  }
+  if (cfg_.strategies.social_assignment) reassign_servers(/*day=*/0, /*record_latency=*/false);
+
+  remaining_subcycles_.assign(players_.size(), 0);
+}
+
+void System::roll_daily_sessions(int day) {
+  // Process players in a random order so "the game most friends are
+  // playing" sees the friends already decided, as at real join time.
+  std::vector<std::size_t> order(players_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::Rng order_rng = rng_.fork("roll-order");
+  std::shuffle(order.begin(), order.end(), order_rng);
+
+  util::Rng roll_rng = rng_.fork("roll");
+  std::vector<char> decided(players_.size(), 0);
+  for (std::size_t idx : order) {
+    PlayerState& p = players_[idx];
+    p.today = game::roll_daily_session(testbed_.activity(), p.info.duration_class, roll_rng);
+    // "Players tend to play with their friends" (§3.4 / [2]): with even
+    // odds, start when a friend who already planned today starts, so
+    // friends are online together.
+    std::vector<std::size_t> decided_friends;
+    for (social::PlayerId f : testbed_.social_graph().friends(idx)) {
+      if (decided[f]) decided_friends.push_back(f);
+    }
+    if (!decided_friends.empty() && roll_rng.chance(0.5)) {
+      const std::size_t buddy = decided_friends[static_cast<std::size_t>(roll_rng.uniform_int(
+          0, static_cast<std::int64_t>(decided_friends.size()) - 1))];
+      p.today.start_subcycle = players_[buddy].today.start_subcycle;
+    }
+    std::vector<game::GameId> friend_games;
+    for (std::size_t f : decided_friends) {
+      if (players_[f].today.online_at(p.today.start_subcycle)) {
+        friend_games.push_back(players_[f].game);
+      }
+    }
+    p.game = testbed_.activity().choose_game(testbed_.catalog(), friend_games, roll_rng);
+    decided[idx] = 1;
+  }
+  (void)day;
+}
+
+void System::apply_throttling(int day) {
+  util::Rng thr_rng = rng_.fork("throttle-day");
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    double willingness = 1.0;
+    if (throttle80_[i] && thr_rng.chance(cfg_.throttling.throttle_probability)) {
+      willingness = 0.8;
+    } else if (throttle50_[i] && thr_rng.chance(cfg_.throttling.throttle_probability)) {
+      willingness = 0.5;
+    }
+    fleet_[i].willingness = willingness;
+  }
+  (void)day;
+}
+
+void System::begin_cycle(int day) {
+  if (cfg_.workload == WorkloadMode::kDailySessions) roll_daily_sessions(day);
+  if (cfg_.architecture == Architecture::kCloudFog) apply_throttling(day);
+
+  // Weekly social reassignment (§3.4 "runs periodically (e.g., weekly)").
+  if (cfg_.strategies.social_assignment && day > 1 &&
+      (day - 1) % cfg_.reassign_period_days == 0) {
+    reassign_servers(day, /*record_latency=*/true);
+  }
+}
+
+void System::attach_player(PlayerState& p, int day) {
+  switch (cfg_.architecture) {
+    case Architecture::kCloudDirect: {
+      p.serving = ServingRef{ServingKind::kCloud, p.state_dc};
+      const double join = testbed_.latency().rtt_ms(p.info.endpoint,
+                                                    cloud_.datacenter(p.state_dc).endpoint) +
+                          cfg_.fog.connect_setup_ms;
+      collector_.record_player_join(join);
+      break;
+    }
+    case Architecture::kCdn: {
+      // Nearest accepting CDN server within the RTT bound, else the cloud.
+      std::size_t best = cdn_.size();
+      double best_rtt = cfg_.cdn_max_rtt_ms;
+      for (std::size_t i = 0; i < cdn_.size(); ++i) {
+        if (!cdn_[i].accepting()) continue;
+        const double rtt = testbed_.latency().rtt_ms(p.info.endpoint, cdn_[i].endpoint);
+        if (rtt <= best_rtt) {
+          best_rtt = rtt;
+          best = i;
+        }
+      }
+      if (best < cdn_.size()) {
+        ++cdn_[best].served;
+        p.serving = ServingRef{ServingKind::kCdn, best};
+        collector_.record_player_join(best_rtt + cfg_.fog.connect_setup_ms);
+      } else {
+        p.serving = ServingRef{ServingKind::kCloud, p.state_dc};
+        collector_.record_player_join(
+            testbed_.latency().rtt_ms(p.info.endpoint, cloud_.datacenter(p.state_dc).endpoint) +
+            cfg_.fog.connect_setup_ms);
+      }
+      break;
+    }
+    case Architecture::kCloudFog: {
+      util::Rng sel_rng = rng_.fork("select");
+      const auto outcome = fog_.select_supernode(p, fleet_, testbed_.catalog(), day,
+                                                 cfg_.strategies.reputation, sel_rng);
+      collector_.record_player_join(outcome.join_latency_ms);
+      if (p.serving.kind == ServingKind::kSupernode) {
+        p.rated_supernode_this_cycle = p.serving.index;
+      }
+      break;
+    }
+  }
+
+  p.session.emplace(testbed_.catalog(), p.game, cfg_.adapter, rng_.fork("adapter"));
+  p.online = true;
+}
+
+void System::detach_player(PlayerState& p) {
+  if (p.serving.kind == ServingKind::kCdn) {
+    auto& edge = cdn_[p.serving.index];
+    CLOUDFOG_REQUIRE(edge.served > 0, "CDN load underflow");
+    --edge.served;
+    p.serving = ServingRef{};
+  } else {
+    fog_.release(p, fleet_);
+  }
+  p.session.reset();
+  p.online = false;
+}
+
+void System::process_population(int day, int subcycle, bool peak) {
+  if (cfg_.workload == WorkloadMode::kDailySessions) {
+    for (auto& p : players_) {
+      const bool should_be_online = p.today.online_at(
+          subcycle, testbed_.activity().config().subcycles_per_day);
+      if (should_be_online && !p.online) {
+        attach_player(p, day);
+      } else if (!should_be_online && p.online) {
+        detach_player(p);
+      } else if (p.online) {
+        retry_cloud_fallback(p, day);
+      }
+    }
+    return;
+  }
+
+  // Arrival-rate workload (§4.3.4): Poisson arrivals over the hour at the
+  // peak or off-peak rate; departures when the sampled stay runs out.
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    PlayerState& p = players_[i];
+    if (!p.online) continue;
+    if (--remaining_subcycles_[i] <= 0) detach_player(p);
+  }
+
+  const double rate_per_min =
+      peak ? cfg_.arrivals.peak_per_minute : cfg_.arrivals.offpeak_per_minute;
+  util::Rng arr_rng = rng_.fork("arrivals");
+  int arrivals = util::sample_poisson(arr_rng, rate_per_min * 60.0);
+
+  // Fill from the offline population in a rotating scan.
+  util::Rng pick_rng = rng_.fork("arrival-pick");
+  std::size_t scan = static_cast<std::size_t>(
+      pick_rng.uniform_int(0, static_cast<std::int64_t>(players_.size()) - 1));
+  for (std::size_t tried = 0; tried < players_.size() && arrivals > 0; ++tried) {
+    const std::size_t idx = scan;
+    scan = (scan + 1) % players_.size();
+    PlayerState& p = players_[idx];
+    if (p.online) continue;
+    util::Rng roll_rng = rng_.fork("arrival-roll");
+    p.game = testbed_.activity().choose_game(testbed_.catalog(), {}, roll_rng);
+    const double hours =
+        testbed_.activity().sample_play_hours(p.info.duration_class, roll_rng);
+    remaining_subcycles_[idx] = std::max(1, static_cast<int>(std::ceil(hours)));
+    attach_player(p, day);
+    --arrivals;
+  }
+}
+
+void System::retry_cloud_fallback(PlayerState& p, int day) {
+  // A player streaming from the cloud keeps looking for a supernode
+  // (seats free up as others leave); §3.2.2's periodic probing makes the
+  // check hourly. Join latency is not re-recorded — this is a background
+  // improvement, not a join.
+  if (cfg_.architecture != Architecture::kCloudFog) return;
+  if (p.serving.kind != ServingKind::kCloud) return;
+  util::Rng retry_rng = rng_.fork("retry");
+  const auto outcome = fog_.select_supernode(p, fleet_, testbed_.catalog(), day,
+                                             cfg_.strategies.reputation, retry_rng);
+  if (outcome.serving.kind == ServingKind::kSupernode) {
+    p.rated_supernode_this_cycle = outcome.serving.index;
+  }
+  // select_supernode re-attaches to the cloud itself on failure.
+}
+
+void System::update_cross_server_latency() {
+  const double stranger_cross = 1.0 - 1.0 / static_cast<double>(total_servers_);
+  const double w_f = cfg_.friend_interaction_weight;
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    PlayerState& p = players_[i];
+    if (!p.online) continue;
+    int online_friends = 0;
+    int cross_friends = 0;
+    for (social::PlayerId f : testbed_.social_graph().friends(i)) {
+      if (!players_[f].online) continue;
+      ++online_friends;
+      if (partition_[f] != partition_[i]) ++cross_friends;
+    }
+    const double friend_cross =
+        online_friends == 0
+            ? stranger_cross
+            : static_cast<double>(cross_friends) / static_cast<double>(online_friends);
+    p.cross_server_ms = cfg_.cross_server_penalty_ms *
+                        (w_f * friend_cross + (1.0 - w_f) * stranger_cross);
+  }
+}
+
+void System::maybe_run_provisioning(int day, int subcycle) {
+  if (!cfg_.strategies.provisioning || cfg_.architecture != Architecture::kCloudFog) return;
+
+  std::size_t online = 0;
+  for (const auto& p : players_) {
+    if (p.online) ++online;
+  }
+  window_online_sum_ += static_cast<double>(online);
+  ++window_subcycles_;
+
+  const int window = cfg_.provisioning.window_hours;
+  const int global_subcycle =
+      (day - 1) * testbed_.activity().config().subcycles_per_day + (subcycle - 1);
+  if ((global_subcycle + 1) % window != 0) return;
+
+  // Window closed: feed the mean online population, refresh supernode
+  // popularity ranks, and redeploy for the forecast next window.
+  provisioner_.observe_window(window_online_sum_ / std::max(1, window_subcycles_));
+  window_online_sum_ = 0.0;
+  window_subcycles_ = 0;
+
+  for (auto& sn : fleet_) {
+    sn.supported_last_window = sn.served;
+  }
+
+  const std::size_t wanted =
+      std::max(provisioner_.supernodes_needed(mean_fleet_capacity_), base_deployment_);
+  util::Rng deploy_rng = rng_.fork("deploy");
+  provisioner_.deploy(fleet_, wanted, deploy_rng);
+  migrate_players_off_undeployed(day);
+}
+
+void System::migrate_players_off_undeployed(int day) {
+  for (auto& p : players_) {
+    if (!p.online || p.serving.kind != ServingKind::kSupernode) continue;
+    SupernodeState& sn = fleet_[p.serving.index];
+    if (sn.deployed) continue;
+    // The provider withdrew this supernode; its players re-select without
+    // restarting the game (silent migration, not a failure).
+    fog_.release(p, fleet_);
+    util::Rng sel_rng = rng_.fork("reprov-select");
+    fog_.select_supernode(p, fleet_, testbed_.catalog(), day, cfg_.strategies.reputation,
+                          sel_rng);
+    if (p.serving.kind == ServingKind::kSupernode) {
+      p.rated_supernode_this_cycle = p.serving.index;
+    }
+  }
+}
+
+SubcycleQos System::run_subcycle(int day, int subcycle, bool warmup, bool peak) {
+  process_population(day, subcycle, peak);
+  maybe_run_provisioning(day, subcycle);
+  update_cross_server_latency();
+  const SubcycleQos qos = qos_.run_subcycle(players_, fleet_, cloud_, cdn_);
+  collector_.record_subcycle(qos, warmup);
+  return qos;
+}
+
+void System::end_cycle(int day) {
+  // Ratings (§4.1): each player rates the supernode that served it with
+  // the playback continuity it experienced this cycle.
+  for (auto& p : players_) {
+    if (p.rated_supernode_this_cycle.has_value() && p.cycle_continuity_samples > 0.0) {
+      const double continuity =
+          std::clamp(p.cycle_continuity_sum / p.cycle_continuity_samples, 0.0, 1.0);
+      p.reputation.add_rating(*p.rated_supernode_this_cycle, continuity, day);
+    }
+    p.cycle_continuity_sum = 0.0;
+    p.cycle_continuity_samples = 0.0;
+    p.rated_supernode_this_cycle.reset();
+    // Daily-session players leave at day end (each cycle is one day).
+    if (cfg_.workload == WorkloadMode::kDailySessions && p.online) detach_player(p);
+  }
+
+  // Co-play bookkeeping for implicit friendships: friend pairs online on
+  // the same day playing the same game count as playing together.
+  for (const auto& [a, b] : testbed_.social_graph().edges()) {
+    const PlayerState& pa = players_[a];
+    const PlayerState& pb = players_[b];
+    if (cfg_.workload != WorkloadMode::kDailySessions) continue;
+    const bool played_together =
+        pa.game == pb.game &&
+        pa.today.start_subcycle < pb.today.start_subcycle + static_cast<int>(std::ceil(pb.today.hours)) &&
+        pb.today.start_subcycle < pa.today.start_subcycle + static_cast<int>(std::ceil(pa.today.hours));
+    if (played_together) coplay_.record_coplay(a, b, day);
+  }
+  coplay_.expire(day);
+}
+
+const RunMetrics& System::run(const sim::CycleConfig& cycles) {
+  for (int day = 1; day <= cycles.total_cycles; ++day) {
+    const bool warmup = day <= cycles.warmup_cycles;
+    begin_cycle(day);
+    for (int sub = 1; sub <= cycles.subcycles_per_cycle; ++sub) {
+      const bool peak = sub >= cycles.peak_start_subcycle && sub <= cycles.peak_end_subcycle;
+      run_subcycle(day, sub, warmup, peak);
+    }
+    end_cycle(day);
+  }
+  return collector_.metrics();
+}
+
+std::vector<double> System::inject_supernode_failures(std::size_t count, int day) {
+  CLOUDFOG_REQUIRE(cfg_.architecture == Architecture::kCloudFog,
+                   "failure injection needs a fog");
+  // Fail `count` random deployed supernodes that are currently serving.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    if (fleet_[i].deployed && !fleet_[i].failed && fleet_[i].served > 0) candidates.push_back(i);
+  }
+  util::Rng fail_rng = rng_.fork("failures");
+  std::shuffle(candidates.begin(), candidates.end(), fail_rng);
+  candidates.resize(std::min(count, candidates.size()));
+  for (std::size_t idx : candidates) fleet_[idx].failed = true;
+
+  std::vector<double> migration_latencies;
+  for (auto& p : players_) {
+    if (!p.online || p.serving.kind != ServingKind::kSupernode) continue;
+    SupernodeState& failed_sn = fleet_[p.serving.index];
+    if (!failed_sn.failed) continue;
+    // The seat is gone with the failure.
+    CLOUDFOG_REQUIRE(failed_sn.served > 0, "supernode load underflow");
+    --failed_sn.served;
+    p.serving = ServingRef{};
+    util::Rng mig_rng = rng_.fork("migrate");
+    const auto outcome = fog_.migrate(p, fleet_, testbed_.catalog(), day,
+                                      cfg_.strategies.reputation, mig_rng);
+    if (!outcome.serving.attached()) {
+      p.serving = ServingRef{ServingKind::kCloud, p.state_dc};
+    }
+    if (p.serving.kind == ServingKind::kSupernode) {
+      p.rated_supernode_this_cycle = p.serving.index;
+    }
+    migration_latencies.push_back(outcome.join_latency_ms);
+    collector_.record_migration(outcome.join_latency_ms);
+  }
+  return migration_latencies;
+}
+
+void System::recover_supernodes() {
+  for (auto& sn : fleet_) sn.failed = false;
+}
+
+double System::measure_server_assignment_seconds() {
+  const auto merged = coplay_.merged_with(testbed_.social_graph());
+  const social::CommunityPartitioner partitioner(partitioner_config(cfg_, total_servers_));
+  util::Rng part_rng = rng_.fork("measure-partition");
+  const auto start = std::chrono::steady_clock::now();
+  auto result = partitioner.partition(merged, part_rng);
+  const auto stop = std::chrono::steady_clock::now();
+  partition_ = std::move(result.partition);
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  collector_.record_server_assignment(seconds);
+  return seconds;
+}
+
+void System::reassign_servers(int day, bool record_latency) {
+  (void)day;
+  if (record_latency) {
+    measure_server_assignment_seconds();
+    return;
+  }
+  const auto merged = coplay_.merged_with(testbed_.social_graph());
+  const social::CommunityPartitioner partitioner(partitioner_config(cfg_, total_servers_));
+  util::Rng part_rng = rng_.fork("partition");
+  partition_ = partitioner.partition(merged, part_rng).partition;
+}
+
+std::vector<double> System::supernode_join_latencies() const {
+  std::vector<double> out;
+  out.reserve(fleet_.size());
+  for (const auto& sn : fleet_) out.push_back(fog_.supernode_join_latency_ms(sn));
+  return out;
+}
+
+double System::coverage(double network_latency_req_ms) const {
+  std::size_t covered = 0;
+  for (const auto& p : players_) {
+    double best_rtt = std::numeric_limits<double>::infinity();
+    for (const auto& dc : cloud_.datacenters()) {
+      best_rtt = std::min(best_rtt, testbed_.latency().rtt_ms(p.info.endpoint, dc.endpoint));
+    }
+    if (cfg_.architecture == Architecture::kCloudFog) {
+      for (const auto& sn : fleet_) {
+        if (!sn.deployed || sn.failed) continue;
+        best_rtt = std::min(best_rtt, testbed_.latency().rtt_ms(p.info.endpoint, sn.endpoint));
+      }
+    } else if (cfg_.architecture == Architecture::kCdn) {
+      for (const auto& edge : cdn_) {
+        best_rtt = std::min(best_rtt, testbed_.latency().rtt_ms(p.info.endpoint, edge.endpoint));
+      }
+    }
+    if (best_rtt <= network_latency_req_ms) ++covered;
+  }
+  return players_.empty() ? 0.0
+                          : static_cast<double>(covered) / static_cast<double>(players_.size());
+}
+
+}  // namespace cloudfog::core

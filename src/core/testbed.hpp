@@ -1,0 +1,108 @@
+// Testbed construction: the static world an experiment runs in.
+//
+// Two profiles mirror the paper's two environments (§4.1):
+//  * "peersim"   — 10 000 players, 10 % supernode-capable, 600 supernodes,
+//                  5 datacenters × 50 servers, LoL-trace latencies;
+//  * "planetlab" — 750 nodes, 30 supernode-capable, 2 datacenters,
+//                  heavier-tailed wide-area latencies.
+// A Testbed is immutable once built; Systems instantiate their mutable
+// entity state (supernode fleet, CDN servers) from it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/entities.hpp"
+#include "game/activity_model.hpp"
+#include "game/game_catalog.hpp"
+#include "net/bandwidth_model.hpp"
+#include "net/coordinates.hpp"
+#include "net/latency_model.hpp"
+#include "net/ping_trace.hpp"
+#include "social/social_graph.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::core {
+
+enum class TestbedProfile { kPeerSim, kPlanetLab };
+
+struct TestbedConfig {
+  TestbedProfile profile = TestbedProfile::kPeerSim;
+  std::size_t player_count = 10000;
+  double supernode_capable_fraction = 0.10;
+  std::size_t datacenter_count = 5;
+  int servers_per_datacenter = 50;
+  /// Per-datacenter video-streaming egress capacity. Sized so that direct
+  /// cloud streaming congests at evening peak — the regime the paper's
+  /// Cloud baseline operates in.
+  double datacenter_uplink_mbps = 1500.0;
+  /// CDN/EdgeCloud edge servers: an edge server costs about twice a
+  /// supernode reward (§4.1/Fig. 6b), so it gets roughly twice a
+  /// supernode's uplink and seat count.
+  double cdn_uplink_mbps = 30.0;
+  int cdn_capacity_players = 15;
+  /// When set, every supernode gets exactly this capacity (the Fig. 10/11
+  /// "# of supporting players of a supernode" sweeps).
+  std::optional<int> forced_supernode_capacity;
+  net::GeoPlaneConfig geo;
+  net::BandwidthModelConfig bandwidth;
+  social::SocialGraphConfig social;
+  game::ActivityModelConfig activity;
+
+  /// The paper's simulation profile.
+  static TestbedConfig peersim(std::size_t players = 10000);
+  /// The paper's PlanetLab profile.
+  static TestbedConfig planetlab(std::size_t players = 750);
+};
+
+/// The built world. Holds the models by value; Systems keep a reference.
+class Testbed {
+ public:
+  Testbed(TestbedConfig cfg, std::uint64_t seed);
+
+  const TestbedConfig& config() const { return cfg_; }
+  const net::GeoPlane& plane() const { return plane_; }
+  const net::PingTrace& trace() const { return trace_; }
+  const net::LatencyModel& latency() const { return latency_; }
+  const net::BandwidthModel& bandwidth() const { return bandwidth_; }
+  const game::GameCatalog& catalog() const { return catalog_; }
+  const game::ActivityModel& activity() const { return activity_; }
+  const social::SocialGraph& social_graph() const { return graph_; }
+
+  const std::vector<PlayerInfo>& players() const { return players_; }
+  /// Player indices eligible to host a supernode, in a fixed random order
+  /// (fleets of size k take the first k).
+  const std::vector<std::size_t>& supernode_capable() const { return supernode_capable_; }
+
+  /// Fresh datacenter states for a deployment of `count` datacenters
+  /// (defaults to the configured count). Sited at the largest metros.
+  std::vector<DatacenterState> make_datacenters(std::optional<std::size_t> count = {}) const;
+
+  /// Fresh supernode fleet of `count` supernodes drawn from the capable
+  /// players (capacity/bandwidth sampled deterministically per player).
+  std::vector<SupernodeState> make_supernode_fleet(std::size_t count) const;
+
+  /// Fresh CDN deployment of `count` servers placed uniformly at random
+  /// (the paper's "randomly distributed servers").
+  std::vector<CdnServerState> make_cdn_servers(std::size_t count, std::uint64_t salt = 0) const;
+
+ private:
+  TestbedConfig cfg_;
+  std::uint64_t seed_;
+  util::Rng build_rng_;
+  net::GeoPlane plane_;
+  net::PingTrace trace_;
+  net::LatencyModel latency_;
+  net::BandwidthModel bandwidth_;
+  game::GameCatalog catalog_;
+  game::ActivityModel activity_;
+  social::SocialGraph graph_;
+  std::vector<PlayerInfo> players_;
+  std::vector<std::size_t> supernode_capable_;
+  std::vector<int> supernode_capacity_;    // per capable player
+  std::vector<double> supernode_upload_;   // Mbps per capable player
+  std::vector<double> supernode_access_;   // access latency ms per capable player
+};
+
+}  // namespace cloudfog::core

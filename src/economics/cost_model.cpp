@@ -1,0 +1,44 @@
+#include "economics/cost_model.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::economics {
+
+CostModel::CostModel(CostModelConfig cfg) : cfg_(cfg) {
+  CLOUDFOG_REQUIRE(cfg.supernode_power_kw > 0.0, "power draw must be positive");
+  CLOUDFOG_REQUIRE(cfg.electricity_usd_per_kwh >= 0.0, "negative electricity price");
+  CLOUDFOG_REQUIRE(cfg.reward_usd_per_gb >= 0.0, "negative reward rate");
+  CLOUDFOG_REQUIRE(cfg.contributed_gb_per_hour >= 0.0, "negative contribution rate");
+  CLOUDFOG_REQUIRE(cfg.ec2_gpu_instance_usd_per_hour >= 0.0, "negative rent");
+}
+
+double CostModel::running_cost_usd(double hours) const {
+  CLOUDFOG_REQUIRE(hours >= 0.0, "negative hours");
+  return cfg_.supernode_power_kw * cfg_.electricity_usd_per_kwh * hours;
+}
+
+double CostModel::reward_usd(double hours) const {
+  CLOUDFOG_REQUIRE(hours >= 0.0, "negative hours");
+  return cfg_.reward_usd_per_gb * cfg_.contributed_gb_per_hour * hours;
+}
+
+double CostModel::contributor_profit_usd(double hours) const {
+  return reward_usd(hours) - running_cost_usd(hours);
+}
+
+double CostModel::ec2_renting_fee_usd(double hours) const {
+  CLOUDFOG_REQUIRE(hours >= 0.0, "negative hours");
+  return cfg_.ec2_gpu_instance_usd_per_hour * hours;
+}
+
+double CostModel::provider_saving_vs_ec2_usd(double hours) const {
+  return ec2_renting_fee_usd(hours) - reward_usd(hours);
+}
+
+double CostModel::annual_fleet_reward_usd(int supernodes, double hours_per_day) const {
+  CLOUDFOG_REQUIRE(supernodes >= 0, "negative fleet size");
+  CLOUDFOG_REQUIRE(hours_per_day >= 0.0 && hours_per_day <= 24.0, "hours/day out of range");
+  return reward_usd(hours_per_day) * 365.0 * supernodes;
+}
+
+}  // namespace cloudfog::economics

@@ -1,0 +1,55 @@
+// Dollar-denominated cost model behind the paper's Fig. 16 and §4.4.
+//
+// Inputs the paper uses:
+//  * a supernode is a typical server drawing ≈ 0.25 kW;
+//  * electricity at the US average of 10.8 ¢/kWh
+//    → hourly running cost 0.25 × 0.108 = $0.027;
+//  * the provider pays $1 per GB of supernode-contributed bandwidth;
+//  * the alternative is renting an Amazon EC2 g2.8xlarge at $2.60/hour;
+//  * a medium datacenter costs ≈ $400 M to build.
+#pragma once
+
+namespace cloudfog::economics {
+
+struct CostModelConfig {
+  double supernode_power_kw = 0.25;
+  double electricity_usd_per_kwh = 0.108;
+  double reward_usd_per_gb = 1.0;
+  /// Video upload rate of a busy supernode, in GB per hour of service
+  /// (≈ 3 Mbps sustained ≈ 1.35 GB/h — a handful of concurrent streams).
+  double contributed_gb_per_hour = 1.35;
+  double ec2_gpu_instance_usd_per_hour = 2.60;
+  double datacenter_build_usd = 400e6;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelConfig cfg = {});
+
+  const CostModelConfig& config() const { return cfg_; }
+
+  /// Electricity cost of running a supernode for `hours`.
+  double running_cost_usd(double hours) const;
+
+  /// Reward earned by a supernode serving players for `hours`.
+  double reward_usd(double hours) const;
+
+  /// Contributor profit for `hours` of service (reward − running cost).
+  double contributor_profit_usd(double hours) const;
+
+  /// Fee for renting the EC2 GPU instance for `hours`.
+  double ec2_renting_fee_usd(double hours) const;
+
+  /// Provider saving from using one supernode instead of renting for
+  /// `hours` (renting fee − reward paid).
+  double provider_saving_vs_ec2_usd(double hours) const;
+
+  /// Annual cost of rewarding a fleet of `supernodes` running
+  /// `hours_per_day` every day.
+  double annual_fleet_reward_usd(int supernodes, double hours_per_day) const;
+
+ private:
+  CostModelConfig cfg_;
+};
+
+}  // namespace cloudfog::economics

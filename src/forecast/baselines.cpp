@@ -1,0 +1,20 @@
+#include "forecast/baselines.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::forecast {
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(std::size_t season_length)
+    : season_(season_length) {
+  CLOUDFOG_REQUIRE(season_length >= 1, "season length must be at least 1");
+}
+
+void SeasonalNaiveForecaster::observe(double value) { history_.push_back(value); }
+
+std::optional<double> SeasonalNaiveForecaster::forecast_next() const {
+  if (history_.empty()) return std::nullopt;
+  if (history_.size() < season_) return history_.back();  // persistence warm-up
+  return history_[history_.size() - season_];
+}
+
+}  // namespace cloudfog::forecast

@@ -1,0 +1,74 @@
+// Baseline forecasters and a common evaluation harness.
+//
+// §3.5 chooses seasonal ARIMA for the player-population forecast; the
+// natural ablation is against the two simpler rules it must beat:
+//   * persistence          — N̂_t = N_{t−1};
+//   * seasonal naive       — N̂_t = N_{t−T} (same window last week).
+// All three share the observe()/forecast_next() shape, and
+// evaluate_forecaster() scores any of them on a series.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "forecast/sarima.hpp"
+#include "forecast/timeseries.hpp"
+
+namespace cloudfog::forecast {
+
+/// N̂_t = N_{t−1}.
+class PersistenceForecaster {
+ public:
+  void observe(double value) { last_ = value; }
+  std::optional<double> forecast_next() const { return last_; }
+
+ private:
+  std::optional<double> last_;
+};
+
+/// N̂_t = N_{t−T}; persistence until one full season is observed.
+class SeasonalNaiveForecaster {
+ public:
+  explicit SeasonalNaiveForecaster(std::size_t season_length);
+
+  void observe(double value);
+  std::optional<double> forecast_next() const;
+  bool seasonal() const { return history_.size() >= season_; }
+
+ private:
+  std::size_t season_;
+  std::vector<double> history_;
+};
+
+struct ForecastAccuracy {
+  double mape = 0.0;
+  double rmse = 0.0;
+  std::size_t scored = 0;  ///< windows with a forecast available
+};
+
+/// Replays `series` through a forecaster, scoring one-step forecasts.
+/// `skip` warm-up windows are excluded from the score so every model is
+/// judged on the same post-warm-up stretch.
+template <typename Forecaster>
+ForecastAccuracy evaluate_forecaster(Forecaster& model, const std::vector<double>& series,
+                                     std::size_t skip) {
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const auto f = model.forecast_next();
+    if (t >= skip && f.has_value()) {
+      actual.push_back(series[t]);
+      predicted.push_back(*f);
+    }
+    model.observe(series[t]);
+  }
+  ForecastAccuracy out;
+  out.scored = actual.size();
+  if (!actual.empty()) {
+    out.mape = mape(actual, predicted);
+    out.rmse = rmse(actual, predicted);
+  }
+  return out;
+}
+
+}  // namespace cloudfog::forecast

@@ -1,0 +1,86 @@
+#include "forecast/sarima.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace cloudfog::forecast {
+
+SeasonalArima::SeasonalArima(SarimaConfig cfg) : cfg_(cfg) {
+  CLOUDFOG_REQUIRE(cfg.season_length >= 1, "season length must be at least 1");
+  CLOUDFOG_REQUIRE(cfg.theta >= 0.0 && cfg.theta < 1.0, "θ must be in [0,1)");
+  CLOUDFOG_REQUIRE(cfg.seasonal_theta >= 0.0 && cfg.seasonal_theta < 1.0,
+                   "Θ must be in [0,1)");
+}
+
+double SeasonalArima::raw_forecast(std::size_t t) const {
+  // Eq. 14 for the value at index t, given history through t-1.
+  const std::size_t T = cfg_.season_length;
+  const double n_t1 = history_.at(t - 1);
+  const double n_tT = history_.at(t - T);
+  const double n_tT1 = history_.at(t - T - 1);
+  const double w_t1 = residuals_[t - 1];
+  const double w_tT = residuals_[t - T];
+  const double w_tT1 = residuals_[t - T - 1];
+  return n_tT + n_t1 - n_tT1 - cfg_.theta * w_t1 - cfg_.seasonal_theta * w_tT +
+         cfg_.theta * cfg_.seasonal_theta * w_tT1;
+}
+
+void SeasonalArima::observe(double value) {
+  double stored = value;
+  if (cfg_.log_transform) {
+    CLOUDFOG_REQUIRE(value > 0.0, "log-transformed SARIMA needs positive observations");
+    stored = std::log(value);
+  }
+  // Residuals live in the (possibly transformed) model space.
+  std::optional<double> forecast;
+  if (!history_.empty()) {
+    forecast = seasonal_model_active() ? raw_forecast(history_.size()) : history_.back();
+  }
+  history_.push(stored);
+  residuals_.push_back(forecast.has_value() ? stored - *forecast : 0.0);
+}
+
+std::optional<double> SeasonalArima::forecast_next() const {
+  if (history_.empty()) return std::nullopt;
+  const double raw =
+      seasonal_model_active() ? raw_forecast(history_.size()) : history_.back();
+  return cfg_.log_transform ? std::exp(raw) : raw;
+}
+
+SarimaConfig fit_sarima(const std::vector<double>& training, std::size_t season_length,
+                        int grid_steps) {
+  CLOUDFOG_REQUIRE(grid_steps >= 1, "need at least one grid step");
+  CLOUDFOG_REQUIRE(training.size() > season_length + 1,
+                   "training series must cover more than one season");
+  SarimaConfig best{season_length, 0.0, 0.0};
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < grid_steps; ++i) {
+    for (int j = 0; j < grid_steps; ++j) {
+      SarimaConfig cfg{season_length, 0.9 * i / std::max(1, grid_steps - 1),
+                       0.9 * j / std::max(1, grid_steps - 1)};
+      SeasonalArima model(cfg);
+      double sse = 0.0;
+      std::size_t n = 0;
+      for (double v : training) {
+        const auto f = model.forecast_next();
+        if (f.has_value() && model.seasonal_model_active()) {
+          const double e = v - *f;
+          sse += e * e;
+          ++n;
+        }
+        model.observe(v);
+      }
+      if (n == 0) continue;
+      const double r = std::sqrt(sse / static_cast<double>(n));
+      if (r < best_rmse) {
+        best_rmse = r;
+        best = cfg;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cloudfog::forecast

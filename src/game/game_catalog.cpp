@@ -1,0 +1,42 @@
+#include "game/game_catalog.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::game {
+
+GameCatalog GameCatalog::paper_default() {
+  QualityLadder ladder = QualityLadder::paper_default();
+  std::vector<GameInfo> games;
+  games.push_back(GameInfo{0, "ArenaStrike (FPS)", 30.0, 1, 0.6});
+  games.push_back(GameInfo{1, "SkyRacer (racing)", 50.0, 2, 0.7});
+  games.push_back(GameInfo{2, "WarBand (action RPG)", 70.0, 3, 0.8});
+  games.push_back(GameInfo{3, "EmpireForge (RTS)", 90.0, 4, 0.9});
+  games.push_back(GameInfo{4, "MythRealm (MMORPG)", 110.0, 5, 1.0});
+  return GameCatalog(std::move(games), std::move(ladder));
+}
+
+GameCatalog::GameCatalog(std::vector<GameInfo> games, QualityLadder ladder)
+    : games_(std::move(games)), ladder_(std::move(ladder)) {
+  CLOUDFOG_REQUIRE(!games_.empty(), "catalog must hold at least one game");
+  for (std::size_t i = 0; i < games_.size(); ++i) {
+    CLOUDFOG_REQUIRE(games_[i].id == static_cast<GameId>(i), "game ids must be dense 0..n-1");
+    // The default level must actually exist and fit the game's latency
+    // budget, otherwise the rate adapter would start above requirement.
+    const auto& level = ladder_.at_level(games_[i].default_quality_level);
+    CLOUDFOG_REQUIRE(level.latency_requirement_ms <= games_[i].latency_requirement_ms,
+                     "default quality exceeds the game's latency budget");
+  }
+}
+
+const GameInfo& GameCatalog::game(GameId id) const {
+  CLOUDFOG_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < games_.size(),
+                   "game id out of range");
+  return games_[static_cast<std::size_t>(id)];
+}
+
+const GameInfo& GameCatalog::random_game(util::Rng& rng) const {
+  return games_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(games_.size()) - 1))];
+}
+
+}  // namespace cloudfog::game

@@ -1,0 +1,51 @@
+// Game catalog.
+//
+// §4.1: "We defined 5 games, their quality levels and latency requirements
+// are shown in Table 2." Each game therefore corresponds to one ladder
+// entry: its default streaming quality is the ladder level whose latency
+// requirement matches the game's genre sensitivity (FPS-like games are the
+// strictest, turn-based the most lenient).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/quality_ladder.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::game {
+
+using GameId = int;
+
+struct GameInfo {
+  GameId id = 0;
+  std::string name;
+  /// Total response-latency requirement for a satisfying experience (ms).
+  double latency_requirement_ms = 100.0;
+  /// Default (maximum) streaming quality level for this game.
+  int default_quality_level = 5;
+  /// ρ — tolerance to latency/loss, from Table 2.
+  double latency_tolerance = 1.0;
+};
+
+class GameCatalog {
+ public:
+  /// The evaluation's five games, one per Table 2 row (strictest first).
+  static GameCatalog paper_default();
+
+  GameCatalog(std::vector<GameInfo> games, QualityLadder ladder);
+
+  std::size_t size() const { return games_.size(); }
+  const GameInfo& game(GameId id) const;
+  const std::vector<GameInfo>& games() const { return games_; }
+  const QualityLadder& ladder() const { return ladder_; }
+
+  /// Uniformly random game (a joining player with no friends online).
+  const GameInfo& random_game(util::Rng& rng) const;
+
+ private:
+  std::vector<GameInfo> games_;
+  QualityLadder ladder_;
+};
+
+}  // namespace cloudfog::game

@@ -1,0 +1,47 @@
+#include "net/bandwidth_model.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cloudfog::net {
+
+namespace {
+
+// Residential broadband download tiers (Mbps, weight = population share),
+// matching the first-order statistics of the VoD measurement studies the
+// paper cites: a DSL floor, a cable/fibre bulk, and a fast minority.
+util::EmpiricalDistribution make_download_tiers() {
+  using Bin = util::EmpiricalDistribution::Bin;
+  return util::EmpiricalDistribution({
+      Bin{1.5, 0.08},
+      Bin{3.0, 0.17},
+      Bin{6.0, 0.30},
+      Bin{10.0, 0.25},
+      Bin{20.0, 0.14},
+      Bin{50.0, 0.06},
+  });
+}
+
+}  // namespace
+
+BandwidthModel::BandwidthModel(BandwidthModelConfig cfg)
+    : cfg_(cfg),
+      download_tiers_(make_download_tiers()),
+      capacity_dist_(cfg.supernode_capacity_min, cfg.supernode_capacity_max,
+                     cfg.supernode_capacity_alpha) {
+  CLOUDFOG_REQUIRE(cfg.upload_divisor >= 1.0, "upload divisor below 1");
+}
+
+NodeBandwidth BandwidthModel::sample_node_bandwidth(util::Rng& rng) const {
+  const double down = download_tiers_.sample(rng);
+  return NodeBandwidth{down, down / cfg_.upload_divisor};
+}
+
+int BandwidthModel::sample_supernode_capacity(util::Rng& rng) const {
+  return static_cast<int>(std::floor(capacity_dist_.sample(rng)));
+}
+
+double BandwidthModel::mean_download_mbps() const { return download_tiers_.mean(); }
+
+}  // namespace cloudfog::net

@@ -1,0 +1,51 @@
+// Access-bandwidth model.
+//
+// §4.1: download bandwidth follows the measurement statistics of [42,43]
+// (residential broadband tiers); "a node's upload bandwidth capacity was
+// set to 1/3 of its download bandwidth" [44,45]; supernode capacities
+// (max players a supernode can support) follow a Pareto distribution with
+// shape α = 2 [46,47].
+#pragma once
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::net {
+
+struct NodeBandwidth {
+  double download_mbps = 0.0;
+  double upload_mbps = 0.0;
+};
+
+struct BandwidthModelConfig {
+  /// Upload = download / upload_divisor (asymmetric residential links).
+  double upload_divisor = 3.0;
+  /// Supernode capacity in simultaneously supported players: bounded
+  /// Pareto [min, max] with shape alpha.
+  double supernode_capacity_min = 4.0;
+  double supernode_capacity_max = 40.0;
+  double supernode_capacity_alpha = 2.0;
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(BandwidthModelConfig cfg = {});
+
+  const BandwidthModelConfig& config() const { return cfg_; }
+
+  /// Draws one node's (download, upload) pair from the broadband tiers.
+  NodeBandwidth sample_node_bandwidth(util::Rng& rng) const;
+
+  /// Draws a supernode's capacity: maximum simultaneous players.
+  int sample_supernode_capacity(util::Rng& rng) const;
+
+  /// Mean node download bandwidth under the tier distribution (Mbps).
+  double mean_download_mbps() const;
+
+ private:
+  BandwidthModelConfig cfg_;
+  util::EmpiricalDistribution download_tiers_;
+  util::BoundedParetoDistribution capacity_dist_;
+};
+
+}  // namespace cloudfog::net

@@ -1,0 +1,60 @@
+// Synthetic ping-latency trace.
+//
+// The paper samples pairwise communication latency "from the ping latency
+// traces from the League of Legends [54] based on each latency's occurrence
+// frequency" (§4.1). The trace itself is not distributable, so we rebuild
+// its published shape: a histogram over 0–300+ ms dominated by the
+// 20–90 ms range with a long tail. PingTrace exposes the two things the
+// experiments consume:
+//   * per-node access (last-mile) latency — sampled once per node;
+//   * per-packet jitter magnitude — drives the continuity metric.
+// The "planetlab" profile has a heavier tail, matching the wide-area
+// variance observed on the real testbed.
+#pragma once
+
+#include <optional>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::net {
+
+enum class TraceProfile {
+  kLeagueOfLegends,  ///< simulation profile (§4.1, ref. [54])
+  kPlanetLab,        ///< wide-area testbed profile (heavier tail)
+};
+
+class PingTrace {
+ public:
+  explicit PingTrace(TraceProfile profile);
+
+  /// Uses a measured RTT histogram (e.g. loaded via net::trace_io from
+  /// data/lol_ping_histogram.txt) in place of the synthetic RTT mixture;
+  /// access latencies and jitter still follow `base_profile`.
+  PingTrace(util::EmpiricalDistribution rtt_histogram, TraceProfile base_profile);
+
+  TraceProfile profile() const { return profile_; }
+
+  /// One-way access-network latency for a node, in ms. Heavy-tailed:
+  /// most nodes 3–15 ms, a tail of poorly connected ones.
+  double sample_access_latency_ms(util::Rng& rng) const;
+
+  /// End-to-end RTT sample in ms, as the original trace would yield.
+  double sample_rtt_ms(util::Rng& rng) const;
+
+  /// Mean of per-packet delay jitter (ms) under an uncongested path.
+  double base_jitter_ms() const { return base_jitter_ms_; }
+
+  /// Fraction of trace RTTs at or below `ms` (empirical CDF, analytic
+  /// evaluation over the mixture).
+  double rtt_fraction_within(double ms, util::Rng& rng, int samples = 4096) const;
+
+ private:
+  TraceProfile profile_;
+  util::LognormalMixture rtt_mixture_;
+  std::optional<util::EmpiricalDistribution> rtt_histogram_;  // overrides mixture
+  util::LognormalMixture access_mixture_;
+  double base_jitter_ms_;
+};
+
+}  // namespace cloudfog::net

@@ -1,0 +1,52 @@
+#include "net/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cloudfog::net {
+
+util::EmpiricalDistribution load_latency_histogram(std::istream& in) {
+  std::vector<util::EmpiricalDistribution::Bin> bins;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    double bucket_ms = 0.0;
+    double count = 0.0;
+    if (!(fields >> bucket_ms)) continue;  // blank or comment-only line
+    CLOUDFOG_REQUIRE(static_cast<bool>(fields >> count),
+                     "histogram line " + std::to_string(line_no) + " is missing a count");
+    std::string trailing;
+    CLOUDFOG_REQUIRE(!(fields >> trailing),
+                     "histogram line " + std::to_string(line_no) + " has trailing fields");
+    CLOUDFOG_REQUIRE(bucket_ms >= 0.0,
+                     "histogram line " + std::to_string(line_no) + ": negative latency");
+    CLOUDFOG_REQUIRE(count > 0.0,
+                     "histogram line " + std::to_string(line_no) + ": non-positive count");
+    bins.push_back({bucket_ms, count});
+  }
+  CLOUDFOG_REQUIRE(!bins.empty(), "histogram holds no buckets");
+  return util::EmpiricalDistribution(std::move(bins));
+}
+
+util::EmpiricalDistribution load_latency_histogram_file(const std::string& path) {
+  std::ifstream in(path);
+  CLOUDFOG_REQUIRE(in.good(), "cannot open histogram file: " + path);
+  return load_latency_histogram(in);
+}
+
+void save_latency_histogram(std::ostream& out,
+                            const std::vector<util::EmpiricalDistribution::Bin>& bins) {
+  out << "# latency_ms count\n";
+  for (const auto& bin : bins) {
+    out << bin.value << ' ' << bin.weight << '\n';
+  }
+}
+
+}  // namespace cloudfog::net

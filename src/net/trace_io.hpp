@@ -1,0 +1,31 @@
+// Latency-trace file I/O.
+//
+// The paper samples pairwise latencies "from the ping latency traces from
+// the League of Legends [54] based on each latency's occurrence
+// frequency". This loader reads such a trace as a histogram file — one
+// `<bucket_ms> <count>` pair per line, `#` comments — into an empirical
+// distribution, so a real trace can replace the synthetic mixture in
+// net::PingTrace without recompiling. A reference histogram shaped like
+// the published LoL data ships in data/lol_ping_histogram.txt.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "util/distributions.hpp"
+
+namespace cloudfog::net {
+
+/// Parses a histogram stream. Throws ConfigError on malformed lines,
+/// negative values, or an empty histogram.
+util::EmpiricalDistribution load_latency_histogram(std::istream& in);
+
+/// Opens and parses a histogram file; throws ConfigError if unreadable.
+util::EmpiricalDistribution load_latency_histogram_file(const std::string& path);
+
+/// Writes a distribution's bins back out in the same format (round-trip
+/// support for tooling that rebins or filters traces).
+void save_latency_histogram(std::ostream& out,
+                            const std::vector<util::EmpiricalDistribution::Bin>& bins);
+
+}  // namespace cloudfog::net

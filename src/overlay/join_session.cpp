@@ -1,0 +1,211 @@
+#include "overlay/join_session.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::overlay {
+
+JoinSession::JoinSession(sim::Simulator& sim, MessageNetwork& network, Address self,
+                         Address directory, JoinConfig cfg, Ranker ranker,
+                         DoneCallback done, std::uint64_t session_id, util::Rng rng)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      directory_(directory),
+      cfg_(cfg),
+      ranker_(std::move(ranker)),
+      done_(std::move(done)),
+      session_id_(session_id),
+      rng_(rng) {
+  CLOUDFOG_REQUIRE(cfg.lmax_ms > 0.0, "L_max must be positive");
+  CLOUDFOG_REQUIRE(cfg.stage_timeout_ms > 0.0, "timeout must be positive");
+  CLOUDFOG_REQUIRE(static_cast<bool>(done_), "null completion callback");
+}
+
+void JoinSession::arm_timeout() {
+  const int epoch = stage_epoch_;
+  const std::weak_ptr<int> alive = alive_;
+  sim_.schedule_in(cfg_.stage_timeout_ms / 1000.0, [this, epoch, alive] {
+    if (alive.expired()) return;                     // session destroyed
+    if (finished_ || epoch != stage_epoch_) return;  // the stage moved on
+    switch (stage_) {
+      case Stage::kCandidates:
+        finish_candidates();
+        break;
+      case Stage::kProbing:
+        finish_probing();
+        break;
+      case Stage::kClaiming:
+        // The asked supernode never answered: treat as a deny.
+        ++claim_index_;
+        next_claim();
+        break;
+      case Stage::kIdle:
+      case Stage::kDone:
+        break;
+    }
+  });
+}
+
+void JoinSession::start() {
+  CLOUDFOG_REQUIRE(stage_ == Stage::kIdle, "join already started");
+  started_at_ms_ = sim_.now() * 1000.0;
+  stage_ = Stage::kCandidates;
+  ++stage_epoch_;
+  Message req;
+  req.src = self_;
+  req.dst = directory_;
+  req.kind = MessageKind::kCandidateRequest;
+  req.session = session_id_;
+  network_.send(req);
+  arm_timeout();
+}
+
+void JoinSession::on_message(const Message& msg) {
+  if (finished_ || msg.session != session_id_) return;
+  switch (msg.kind) {
+    case MessageKind::kCandidateReply: {
+      if (stage_ != Stage::kCandidates) return;
+      if (msg.payload < 0) {
+        finish_candidates();
+      } else {
+        candidates_.push_back(static_cast<Address>(msg.payload));
+        ++result_.candidates_received;
+      }
+      break;
+    }
+    case MessageKind::kProbeReply: {
+      if (stage_ != Stage::kProbing) return;
+      const auto it = probe_sent_ms_.find(msg.src);
+      if (it == probe_sent_ms_.end()) return;
+      const double rtt = sim_.now() * 1000.0 - it->second;
+      probe_sent_ms_.erase(it);
+      if (rtt / 2.0 <= cfg_.lmax_ms) probed_rtt_ms_.emplace_back(msg.src, rtt);
+      if (probe_sent_ms_.empty()) finish_probing();
+      break;
+    }
+    case MessageKind::kCapacityGrant: {
+      if (stage_ != Stage::kClaiming) return;
+      // The seat is ours — complete the handshake.
+      Message connect;
+      connect.src = self_;
+      connect.dst = msg.src;
+      connect.kind = MessageKind::kConnect;
+      connect.session = session_id_;
+      network_.send(connect);
+      break;
+    }
+    case MessageKind::kCapacityDeny: {
+      if (stage_ != Stage::kClaiming) return;
+      ++claim_index_;
+      next_claim();
+      break;
+    }
+    case MessageKind::kConnectAck: {
+      finish(true, msg.src);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void JoinSession::finish_candidates() {
+  if (stage_ != Stage::kCandidates) return;
+  stage_ = Stage::kProbing;
+  ++stage_epoch_;
+  if (candidates_.empty()) {
+    finish(false, kNoAddress);
+    return;
+  }
+  for (Address candidate : candidates_) {
+    probe_sent_ms_[candidate] = sim_.now() * 1000.0;
+    Message probe;
+    probe.src = self_;
+    probe.dst = candidate;
+    probe.kind = MessageKind::kProbe;
+    probe.session = session_id_;
+    network_.send(probe);
+    ++result_.probes;
+  }
+  arm_timeout();
+}
+
+void JoinSession::finish_probing() {
+  if (stage_ != Stage::kProbing) return;
+  stage_ = Stage::kClaiming;
+  ++stage_epoch_;
+  claim_order_.clear();
+  claim_order_.reserve(probed_rtt_ms_.size());
+  for (const auto& [addr, rtt] : probed_rtt_ms_) claim_order_.push_back(addr);
+  if (ranker_) {
+    std::stable_sort(claim_order_.begin(), claim_order_.end(),
+                     [this](Address a, Address b) { return ranker_(a) > ranker_(b); });
+  } else {
+    std::shuffle(claim_order_.begin(), claim_order_.end(), rng_);
+  }
+  claim_index_ = 0;
+  next_claim();
+}
+
+void JoinSession::next_claim() {
+  if (finished_) return;
+  ++stage_epoch_;  // cancel the previous claim's timeout
+  if (claim_index_ >= claim_order_.size()) {
+    finish(false, kNoAddress);
+    return;
+  }
+  Message ask;
+  ask.src = self_;
+  ask.dst = claim_order_[claim_index_];
+  ask.kind = MessageKind::kCapacityAsk;
+  ask.session = session_id_;
+  network_.send(ask);
+  ++result_.capacity_asks;
+  arm_timeout();
+}
+
+void JoinSession::finish(bool fog_connected, Address supernode) {
+  if (finished_) return;
+  finished_ = true;
+  stage_ = Stage::kDone;
+  ++stage_epoch_;
+  result_.fog_connected = fog_connected;
+  result_.supernode = supernode;
+  result_.join_latency_ms = sim_.now() * 1000.0 - started_at_ms_;
+  done_(result_);
+}
+
+PlayerAgent::PlayerAgent(sim::Simulator& sim, MessageNetwork& network,
+                         const net::Endpoint& where)
+    : sim_(sim), network_(network) {
+  address_ = network_.register_endpoint(where, [this](const Message& m) { handle(m); });
+}
+
+void PlayerAgent::handle(const Message& msg) {
+  if (monitor_ && msg.kind == MessageKind::kLivenessReply) monitor_->on_message(msg);
+  if (session_) session_->on_message(msg);
+}
+
+void PlayerAgent::join(Address directory, JoinConfig cfg, JoinSession::Ranker ranker,
+                       JoinSession::DoneCallback done, util::Rng rng) {
+  CLOUDFOG_REQUIRE(!join_in_progress(), "join already in progress");
+  session_ = std::make_unique<JoinSession>(sim_, network_, address_, directory, cfg,
+                                           std::move(ranker), std::move(done),
+                                           next_session_++, rng);
+  session_->start();
+}
+
+void PlayerAgent::watch(Address supernode, ProbeMonitorConfig cfg,
+                        std::function<void(double)> on_failure) {
+  monitor_ = std::make_unique<ProbeMonitor>(sim_, network_, address_, supernode, cfg,
+                                            std::move(on_failure));
+}
+
+void PlayerAgent::stop_watching() {
+  if (monitor_) monitor_->stop();
+  monitor_.reset();
+}
+
+}  // namespace cloudfog::overlay

@@ -1,0 +1,53 @@
+// Overlay message model.
+//
+// The protocol layer (src/overlay) runs the §3.2 control conversations —
+// candidate lookup, RTT probing, capacity claims, liveness probes — as
+// actual timestamped messages over the simulated network, rather than the
+// closed-form latency sums the fluid engine uses. The two are
+// cross-validated in tests/overlay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cloudfog::overlay {
+
+/// Overlay-wide node address (players, supernodes and datacenters share
+/// one address space; see MessageNetwork::register_endpoint).
+using Address = std::uint32_t;
+
+inline constexpr Address kNoAddress = 0xffffffff;
+
+enum class MessageKind {
+  kCandidateRequest,  ///< player → cloud: "give me nearby supernodes"
+  kCandidateReply,    ///< cloud → player: candidate list
+  kProbe,             ///< player → supernode: RTT probe
+  kProbeReply,        ///< supernode → player
+  kCapacityAsk,       ///< player → supernode: sequential seat claim
+  kCapacityGrant,     ///< supernode → player
+  kCapacityDeny,      ///< supernode → player
+  kConnect,           ///< player → supernode: start streaming
+  kConnectAck,        ///< supernode → player
+  kLivenessProbe,     ///< periodic keep-alive (§3.2.2)
+  kLivenessReply,
+  kRegister,          ///< supernode → cloud: join the fog
+  kRegisterAck,
+};
+
+/// Human-readable kind name (logging, test diagnostics).
+std::string to_string(MessageKind kind);
+
+struct Message {
+  Address src = kNoAddress;
+  Address dst = kNoAddress;
+  MessageKind kind = MessageKind::kProbe;
+  /// Wire size; control messages are small, so serialization delay is
+  /// usually negligible next to propagation.
+  double size_bits = 2000.0;
+  /// Correlates replies with requests within a protocol session.
+  std::uint64_t session = 0;
+  /// Small numeric payload (candidate index, deny reason, …).
+  std::int64_t payload = 0;
+};
+
+}  // namespace cloudfog::overlay

@@ -1,0 +1,66 @@
+#include "overlay/probe_monitor.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::overlay {
+
+ProbeMonitor::ProbeMonitor(sim::Simulator& sim, MessageNetwork& network, Address self,
+                           Address target, ProbeMonitorConfig cfg,
+                           FailureCallback on_failure)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      target_(target),
+      cfg_(cfg),
+      on_failure_(std::move(on_failure)) {
+  CLOUDFOG_REQUIRE(cfg.period_ms > 0.0, "probe period must be positive");
+  CLOUDFOG_REQUIRE(cfg.miss_limit >= 1, "miss limit must be at least 1");
+  CLOUDFOG_REQUIRE(static_cast<bool>(on_failure_), "null failure callback");
+  tick();
+}
+
+ProbeMonitor::~ProbeMonitor() { stop(); }
+
+void ProbeMonitor::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void ProbeMonitor::on_message(const Message& msg) {
+  if (!running_) return;
+  if (msg.kind == MessageKind::kLivenessReply && msg.src == target_) {
+    awaiting_reply_ = false;
+    misses_ = 0;
+  }
+}
+
+void ProbeMonitor::tick() {
+  if (!running_) return;
+  if (awaiting_reply_) {
+    // The previous probe went unanswered for a full period.
+    ++misses_;
+    if (misses_ >= cfg_.miss_limit) {
+      running_ = false;
+      // The callback may destroy this monitor (typical: the player stops
+      // watching and rejoins); keep the callable alive on the stack.
+      const auto on_failure = std::move(on_failure_);
+      const double now_ms = sim_.now() * 1000.0;
+      on_failure(now_ms);
+      return;
+    }
+  }
+  Message probe;
+  probe.src = self_;
+  probe.dst = target_;
+  probe.kind = MessageKind::kLivenessProbe;
+  network_.send(probe);
+  awaiting_reply_ = true;
+
+  const int epoch = epoch_;
+  const std::weak_ptr<int> alive = alive_;
+  sim_.schedule_in(cfg_.period_ms / 1000.0, [this, epoch, alive] {
+    if (!alive.expired() && epoch == epoch_) tick();
+  });
+}
+
+}  // namespace cloudfog::overlay

@@ -1,0 +1,62 @@
+// Liveness monitoring of a serving supernode (§3.2.2: "normal nodes probe
+// their supernodes periodically for connection maintenance").
+//
+// Every period the monitor sends a LivenessProbe; a reply arriving before
+// the next tick resets the miss counter. After `miss_limit` consecutive
+// silent periods the supernode is declared dead and the failure callback
+// fires (once) with the detection timestamp — the first component of the
+// paper's ~0.8 s migration latency.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "overlay/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace cloudfog::overlay {
+
+struct ProbeMonitorConfig {
+  double period_ms = 250.0;
+  int miss_limit = 2;
+};
+
+class ProbeMonitor {
+ public:
+  using FailureCallback = std::function<void(double detected_at_ms)>;
+
+  ProbeMonitor(sim::Simulator& sim, MessageNetwork& network, Address self, Address target,
+               ProbeMonitorConfig cfg, FailureCallback on_failure);
+  ~ProbeMonitor();
+
+  ProbeMonitor(const ProbeMonitor&) = delete;
+  ProbeMonitor& operator=(const ProbeMonitor&) = delete;
+
+  /// Feed a LivenessReply from the target.
+  void on_message(const Message& msg);
+
+  void stop();
+  bool running() const { return running_; }
+  int consecutive_misses() const { return misses_; }
+  Address target() const { return target_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  MessageNetwork& network_;
+  Address self_;
+  Address target_;
+  ProbeMonitorConfig cfg_;
+  FailureCallback on_failure_;
+  bool running_ = true;
+  bool awaiting_reply_ = false;
+  int misses_ = 0;
+  int epoch_ = 0;  // invalidates queued ticks after stop()
+  /// Queued simulator callbacks hold a weak reference to this token; if
+  /// the monitor is destroyed before they fire, they observe expiry
+  /// instead of dereferencing a dangling `this`.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace cloudfog::overlay

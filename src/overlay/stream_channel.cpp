@@ -1,0 +1,100 @@
+#include "overlay/stream_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::overlay {
+
+UplinkScheduler::UplinkScheduler(sim::Simulator& sim, double rate_kbps)
+    : sim_(sim), rate_kbps_(rate_kbps) {
+  CLOUDFOG_REQUIRE(rate_kbps > 0.0, "uplink rate must be positive");
+}
+
+double UplinkScheduler::enqueue(double bits) {
+  CLOUDFOG_REQUIRE(bits > 0.0, "cannot enqueue zero bits");
+  const double start = std::max(sim_.now(), busy_until_s_);
+  busy_until_s_ = start + bits / (rate_kbps_ * 1000.0);
+  return busy_until_s_;
+}
+
+double UplinkScheduler::backlog_s() const {
+  return std::max(0.0, busy_until_s_ - sim_.now());
+}
+
+StreamReceiver::StreamReceiver(double requirement_ms) : requirement_ms_(requirement_ms) {
+  CLOUDFOG_REQUIRE(requirement_ms > 0.0, "requirement must be positive");
+}
+
+void StreamReceiver::on_packet(double delivery_latency_ms) {
+  CLOUDFOG_REQUIRE(delivery_latency_ms >= 0.0, "negative delivery latency");
+  ++packets_;
+  if (delivery_latency_ms <= requirement_ms_) ++on_time_;
+}
+
+double StreamReceiver::continuity() const {
+  return packets_ == 0 ? 1.0
+                       : static_cast<double>(on_time_) / static_cast<double>(packets_);
+}
+
+VideoStreamer::VideoStreamer(sim::Simulator& sim, UplinkScheduler& uplink,
+                             video::FrameEncoderConfig encoder_cfg, StreamPath path,
+                             StreamReceiver& receiver, util::Rng rng)
+    : sim_(sim),
+      uplink_(uplink),
+      encoder_cfg_(encoder_cfg),
+      path_(path),
+      receiver_(receiver),
+      rng_(rng),
+      encoder_(std::make_unique<video::FrameEncoder>(encoder_cfg, rng.fork("encoder"))) {
+  CLOUDFOG_REQUIRE(path.mtu_bits > 0.0, "MTU must be positive");
+  CLOUDFOG_REQUIRE(path.one_way_ms >= 0.0, "negative propagation");
+  CLOUDFOG_REQUIRE(path.jitter_mean_ms > 0.0, "jitter mean must be positive");
+}
+
+VideoStreamer::~VideoStreamer() { stop(); }
+
+void VideoStreamer::start() {
+  CLOUDFOG_REQUIRE(!running_, "streamer already running");
+  running_ = true;
+  emit_frame();
+}
+
+void VideoStreamer::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void VideoStreamer::set_bitrate_kbps(double bitrate_kbps) {
+  CLOUDFOG_REQUIRE(bitrate_kbps > 0.0, "bitrate must be positive");
+  encoder_cfg_.bitrate_kbps = bitrate_kbps;
+  encoder_ = std::make_unique<video::FrameEncoder>(encoder_cfg_, rng_.fork("encoder"));
+}
+
+void VideoStreamer::emit_frame() {
+  if (!running_) return;
+  const double emitted_at_ms = sim_.now() * 1000.0;
+  const video::EncodedFrame frame = encoder_->next();
+  const auto packets = static_cast<std::size_t>(std::ceil(frame.bits / path_.mtu_bits));
+  for (std::size_t k = 0; k < packets; ++k) {
+    const double bits =
+        std::min(path_.mtu_bits, frame.bits - static_cast<double>(k) * path_.mtu_bits);
+    const double serialized_at_s = uplink_.enqueue(bits);
+    const double jitter_ms = util::sample_exponential(rng_, 1.0 / path_.jitter_mean_ms);
+    const double arrival_s = serialized_at_s + (path_.one_way_ms + jitter_ms) / 1000.0;
+    const std::weak_ptr<int> alive = alive_;
+    sim_.schedule_at(arrival_s, [this, alive, emitted_at_ms] {
+      if (alive.expired()) return;
+      receiver_.on_packet(sim_.now() * 1000.0 - emitted_at_ms);
+    });
+  }
+  const int epoch = epoch_;
+  const std::weak_ptr<int> alive = alive_;
+  sim_.schedule_in(1.0 / encoder_cfg_.fps, [this, alive, epoch] {
+    if (!alive.expired() && epoch == epoch_) emit_frame();
+  });
+}
+
+}  // namespace cloudfog::overlay

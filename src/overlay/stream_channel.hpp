@@ -1,0 +1,103 @@
+// Event-driven video data plane.
+//
+// A supernode's uplink is one FIFO serializer shared by all of its
+// streams (UplinkScheduler). Each VideoStreamer emits encoded frames at
+// the video rate, packetizes them, serializes the packets through the
+// shared uplink and delivers them after propagation plus jitter; the
+// receiving StreamReceiver scores every packet against the game's
+// latency requirement. This is the event-level counterpart of both the
+// analytic continuity model (video/continuity.hpp) and the loop-driven
+// packet simulation (video/packet_stream.hpp) — with the addition that
+// *competing streams contend for one uplink*, the effect that makes
+// supernode overload and the §3.3 rate adapter matter.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "video/packet_stream.hpp"
+
+namespace cloudfog::overlay {
+
+/// FIFO serializer for one uplink: enqueue bits, get the completion time.
+class UplinkScheduler {
+ public:
+  UplinkScheduler(sim::Simulator& sim, double rate_kbps);
+
+  double rate_kbps() const { return rate_kbps_; }
+
+  /// Schedules `bits` for transmission; returns the absolute simulation
+  /// time at which the last bit leaves the uplink.
+  double enqueue(double bits);
+
+  /// Seconds of queued work ahead of a packet enqueued right now.
+  double backlog_s() const;
+
+ private:
+  sim::Simulator& sim_;
+  double rate_kbps_;
+  double busy_until_s_ = 0.0;
+};
+
+/// Player-side scorekeeper.
+class StreamReceiver {
+ public:
+  explicit StreamReceiver(double requirement_ms);
+
+  double requirement_ms() const { return requirement_ms_; }
+  void on_packet(double delivery_latency_ms);
+  std::size_t packets() const { return packets_; }
+  std::size_t on_time() const { return on_time_; }
+  double continuity() const;
+
+ private:
+  double requirement_ms_;
+  std::size_t packets_ = 0;
+  std::size_t on_time_ = 0;
+};
+
+struct StreamPath {
+  double one_way_ms = 15.0;   ///< supernode → player propagation
+  double jitter_mean_ms = 8.0;
+  double mtu_bits = 12000.0;
+};
+
+/// Server-side sender for one (supernode, player) stream.
+class VideoStreamer {
+ public:
+  VideoStreamer(sim::Simulator& sim, UplinkScheduler& uplink,
+                video::FrameEncoderConfig encoder_cfg, StreamPath path,
+                StreamReceiver& receiver, util::Rng rng);
+  ~VideoStreamer();
+
+  VideoStreamer(const VideoStreamer&) = delete;
+  VideoStreamer& operator=(const VideoStreamer&) = delete;
+
+  /// Emits frames at the encoder's fps until stop() (or forever).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Live bitrate change (what the §3.3 adapter commands): subsequent
+  /// frames are encoded at the new rate.
+  void set_bitrate_kbps(double bitrate_kbps);
+  double bitrate_kbps() const { return encoder_cfg_.bitrate_kbps; }
+
+ private:
+  void emit_frame();
+
+  sim::Simulator& sim_;
+  UplinkScheduler& uplink_;
+  video::FrameEncoderConfig encoder_cfg_;
+  StreamPath path_;
+  StreamReceiver& receiver_;
+  util::Rng rng_;
+  std::unique_ptr<video::FrameEncoder> encoder_;
+  bool running_ = false;
+  int epoch_ = 0;
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace cloudfog::overlay

@@ -1,0 +1,3 @@
+// rating.hpp is a plain aggregate; this translation unit exists so the
+// header is compiled standalone at least once (catches missing includes).
+#include "reputation/rating.hpp"

@@ -1,0 +1,15 @@
+// A single supernode rating.
+//
+// §3.2.1: after each game, a player rates its supernode with the playback
+// continuity it experienced (a value in [0,1]). Each rating carries the
+// day it was given so its weight can decay with age (Eq. 7).
+#pragma once
+
+namespace cloudfog::reputation {
+
+struct Rating {
+  double value = 0.0;  ///< playback continuity in [0,1]
+  int day = 1;         ///< 1-based day the rating was issued
+};
+
+}  // namespace cloudfog::reputation

@@ -1,0 +1,73 @@
+#include "reputation/reputation_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cloudfog::reputation {
+
+ReputationStore::ReputationStore(double aging_factor, std::size_t max_ratings_per_supernode)
+    : aging_factor_(aging_factor), max_ratings_(max_ratings_per_supernode) {
+  CLOUDFOG_REQUIRE(aging_factor > 0.0 && aging_factor < 1.0, "λ must be in (0,1)");
+  CLOUDFOG_REQUIRE(max_ratings_per_supernode >= 1, "must retain at least one rating");
+}
+
+void ReputationStore::add_rating(SupernodeId sn, double value, int day) {
+  CLOUDFOG_REQUIRE(value >= 0.0 && value <= 1.0, "rating out of [0,1]");
+  CLOUDFOG_REQUIRE(day >= 1, "days are 1-based");
+  auto& list = ratings_[sn];
+  list.push_back(Rating{value, day});
+  if (list.size() > max_ratings_) {
+    // Evict the oldest rating (smallest day; FIFO among ties).
+    const auto oldest = std::min_element(
+        list.begin(), list.end(), [](const Rating& a, const Rating& b) { return a.day < b.day; });
+    list.erase(oldest);
+  }
+}
+
+double ReputationStore::score(SupernodeId sn, int current_day) const {
+  const auto it = ratings_.find(sn);
+  if (it == ratings_.end() || it->second.empty()) return 0.0;
+  double weighted = 0.0;
+  double weight_sum = 0.0;
+  for (const Rating& r : it->second) {
+    const int age = std::max(0, current_day - r.day);
+    const double w = std::pow(aging_factor_, static_cast<double>(age));
+    weighted += r.value * w;
+    weight_sum += w;
+  }
+  return weight_sum == 0.0 ? 0.0 : weighted / weight_sum;
+}
+
+std::size_t ReputationStore::rating_count(SupernodeId sn) const {
+  const auto it = ratings_.find(sn);
+  return it == ratings_.end() ? 0 : it->second.size();
+}
+
+std::vector<SupernodeId> ReputationStore::rated_supernodes() const {
+  std::vector<SupernodeId> out;
+  out.reserve(ratings_.size());
+  for (const auto& [sn, list] : ratings_) {
+    if (!list.empty()) out.push_back(sn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ReputationStore::prune(int current_day, double min_weight) {
+  for (auto it = ratings_.begin(); it != ratings_.end();) {
+    auto& list = it->second;
+    std::erase_if(list, [&](const Rating& r) {
+      const int age = std::max(0, current_day - r.day);
+      return std::pow(aging_factor_, static_cast<double>(age)) < min_weight;
+    });
+    if (list.empty()) {
+      it = ratings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cloudfog::reputation

@@ -1,0 +1,59 @@
+// Per-player private reputation store (paper §3.2.1, Eq. 7).
+//
+// Every player keeps its *own* ratings of the supernodes that served it and
+// never aggregates opinions from other players — this is the paper's
+// defence against sybil attacks and rating collusion: an attacker's forged
+// identities can only pollute their own private views, never the victim's.
+//
+// A supernode's score for a player is the age-weighted average of that
+// player's ratings:
+//   s_ij = Σ_k r_k · λ^{d_k} / Σ_k λ^{d_k},   0 < λ < 1,
+// where d_k is the age in days of the k-th rating. A supernode the player
+// has never interacted with scores 0 — unknown supernodes rank below any
+// that have performed, however poorly rated, matching the paper's
+// "reputation scores of supernodes that have no previous interactions
+// equal 0".
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "reputation/rating.hpp"
+
+namespace cloudfog::reputation {
+
+using SupernodeId = std::size_t;
+
+class ReputationStore {
+ public:
+  /// `aging_factor` is λ ∈ (0,1); `max_ratings_per_supernode` bounds the
+  /// retained history (oldest evicted first; N_r in the paper).
+  explicit ReputationStore(double aging_factor = 0.9,
+                           std::size_t max_ratings_per_supernode = 64);
+
+  double aging_factor() const { return aging_factor_; }
+
+  /// Records a rating of `sn` on `day` with value in [0,1].
+  void add_rating(SupernodeId sn, double value, int day);
+
+  /// s_ij as of `current_day`. 0 for unknown supernodes.
+  double score(SupernodeId sn, int current_day) const;
+
+  /// Number of retained ratings for `sn`.
+  std::size_t rating_count(SupernodeId sn) const;
+
+  /// Supernodes with at least one rating.
+  std::vector<SupernodeId> rated_supernodes() const;
+
+  /// Drops ratings whose weight λ^age has decayed below `min_weight`
+  /// (housekeeping; keeps the store bounded over long runs).
+  void prune(int current_day, double min_weight = 1e-4);
+
+ private:
+  double aging_factor_;
+  std::size_t max_ratings_;
+  std::unordered_map<SupernodeId, std::vector<Rating>> ratings_;
+};
+
+}  // namespace cloudfog::reputation

@@ -1,0 +1,42 @@
+#include "sim/churn.hpp"
+
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::sim {
+
+ArrivalProcess::ArrivalProcess(Simulator& sim, util::Rng rng, double rate, ArrivalHook hook)
+    : sim_(sim), rng_(rng), rate_(rate), hook_(std::move(hook)) {
+  CLOUDFOG_REQUIRE(rate >= 0.0, "arrival rate must be non-negative");
+  CLOUDFOG_REQUIRE(static_cast<bool>(hook_), "null arrival hook");
+  if (rate_ > 0.0) arm();
+}
+
+ArrivalProcess::~ArrivalProcess() { stop(); }
+
+void ArrivalProcess::set_rate(double rate) {
+  CLOUDFOG_REQUIRE(rate >= 0.0, "arrival rate must be non-negative");
+  const bool was_paused = rate_ == 0.0;
+  rate_ = rate;
+  if (running_ && was_paused && rate_ > 0.0) arm();
+  // A lowered (nonzero) rate applies from the next gap; cancelling the
+  // in-flight arrival would bias the process.
+}
+
+void ArrivalProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+void ArrivalProcess::arm() {
+  const double gap = util::sample_exponential(rng_, rate_);
+  pending_ = sim_.schedule_in(gap, [this] {
+    if (!running_) return;
+    ++arrivals_;
+    hook_(sim_.now());
+    if (running_ && rate_ > 0.0) arm();
+  });
+}
+
+}  // namespace cloudfog::sim

@@ -1,0 +1,53 @@
+// Poisson arrival process for player churn.
+//
+// §4.1: "players join the system following the Poisson distribution with
+// an average rate of 5 players per second"; the provisioning experiments
+// (§4.3.4) instead vary a per-minute peak arrival rate against a fixed
+// off-peak rate. ArrivalProcess supports both by letting the rate change
+// at any time.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::sim {
+
+class ArrivalProcess {
+ public:
+  using ArrivalHook = std::function<void(SimTime)>;
+
+  /// `rate` is in arrivals per second. A rate of 0 pauses the process.
+  ArrivalProcess(Simulator& sim, util::Rng rng, double rate, ArrivalHook hook);
+  ~ArrivalProcess();
+
+  ArrivalProcess(const ArrivalProcess&) = delete;
+  ArrivalProcess& operator=(const ArrivalProcess&) = delete;
+
+  /// Changes the arrival rate; takes effect for the next inter-arrival gap.
+  void set_rate(double rate);
+  double rate() const { return rate_; }
+
+  void stop();
+
+  /// Number of arrivals generated so far.
+  std::size_t arrivals() const { return arrivals_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  util::Rng rng_;
+  double rate_;
+  ArrivalHook hook_;
+  EventId pending_ = 0;
+  bool running_ = true;
+  std::size_t arrivals_ = 0;
+};
+
+/// Converts a per-minute arrival rate (how the paper quotes peak rates)
+/// to the per-second rate ArrivalProcess expects.
+constexpr double per_minute(double players_per_minute) { return players_per_minute / 60.0; }
+
+}  // namespace cloudfog::sim

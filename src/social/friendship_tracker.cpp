@@ -1,0 +1,83 @@
+#include "social/friendship_tracker.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::social {
+
+FriendshipTracker::FriendshipTracker(std::size_t player_count, int coplay_threshold,
+                                     int window_days)
+    : player_count_(player_count),
+      coplay_threshold_(coplay_threshold),
+      window_days_(window_days) {
+  CLOUDFOG_REQUIRE(coplay_threshold >= 0, "co-play threshold must be non-negative");
+  CLOUDFOG_REQUIRE(window_days > 0, "window must be at least one day");
+}
+
+std::uint64_t FriendshipTracker::pair_key(PlayerId a, PlayerId b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (lo << 32) | hi;
+}
+
+void FriendshipTracker::record_coplay(PlayerId a, PlayerId b, int day) {
+  CLOUDFOG_REQUIRE(a < player_count_ && b < player_count_, "player id out of range");
+  CLOUDFOG_REQUIRE(day >= 1, "days are 1-based");
+  if (a == b) return;
+  ++counts_[pair_key(a, b)][day];
+}
+
+void FriendshipTracker::expire(int current_day) {
+  const int oldest_kept = current_day - window_days_ + 1;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    auto& days = it->second;
+    for (auto dit = days.begin(); dit != days.end();) {
+      if (dit->first < oldest_kept) {
+        dit = days.erase(dit);
+      } else {
+        ++dit;
+      }
+    }
+    if (days.empty()) {
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int FriendshipTracker::coplay_count(PlayerId a, PlayerId b) const {
+  const auto it = counts_.find(pair_key(a, b));
+  if (it == counts_.end()) return 0;
+  int total = 0;
+  for (const auto& [day, count] : it->second) total += count;
+  return total;
+}
+
+bool FriendshipTracker::implicit_friends(PlayerId a, PlayerId b) const {
+  return coplay_count(a, b) > coplay_threshold_;
+}
+
+std::vector<std::pair<PlayerId, PlayerId>> FriendshipTracker::implicit_friend_pairs() const {
+  std::vector<std::pair<PlayerId, PlayerId>> out;
+  for (const auto& [key, days] : counts_) {
+    int total = 0;
+    for (const auto& [day, count] : days) total += count;
+    if (total > coplay_threshold_) {
+      out.emplace_back(static_cast<PlayerId>(key >> 32),
+                       static_cast<PlayerId>(key & 0xffffffffULL));
+    }
+  }
+  return out;
+}
+
+SocialGraph FriendshipTracker::merged_with(const SocialGraph& base) const {
+  CLOUDFOG_REQUIRE(base.player_count() == player_count_, "graph size mismatch");
+  SocialGraph merged(player_count_);
+  for (const auto& [a, b] : base.edges()) merged.add_friendship(a, b);
+  for (const auto& [a, b] : implicit_friend_pairs()) merged.add_friendship(a, b);
+  return merged;
+}
+
+}  // namespace cloudfog::social

@@ -1,0 +1,58 @@
+// Implicit-friendship detection.
+//
+// §3.4: "CloudFog keeps record of each user's playing activities …; when
+// the number of times that two players play together within the recent
+// week CP_ij is larger than a threshold υ, we regard it as an implicit
+// friendship." The tracker keeps a rolling one-week window of co-play
+// counts and can merge the implied edges into an explicit friendship
+// graph before server reassignment runs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "social/social_graph.hpp"
+
+namespace cloudfog::social {
+
+class FriendshipTracker {
+ public:
+  /// `coplay_threshold` is υ; `window_days` is the recency window.
+  explicit FriendshipTracker(std::size_t player_count, int coplay_threshold = 3,
+                             int window_days = 7);
+
+  std::size_t player_count() const { return player_count_; }
+  int coplay_threshold() const { return coplay_threshold_; }
+
+  /// Records that `a` and `b` played together on day `day` (1-based).
+  void record_coplay(PlayerId a, PlayerId b, int day);
+
+  /// Drops records older than the window relative to `current_day`.
+  void expire(int current_day);
+
+  /// Co-play count for a pair within the current window.
+  int coplay_count(PlayerId a, PlayerId b) const;
+
+  /// True if the pair qualifies as implicit friends (CP_ij > υ).
+  bool implicit_friends(PlayerId a, PlayerId b) const;
+
+  /// All pairs currently qualifying as implicit friends.
+  std::vector<std::pair<PlayerId, PlayerId>> implicit_friend_pairs() const;
+
+  /// Returns `base` with implicit edges merged in — the graph G the
+  /// server-assignment strategy partitions.
+  SocialGraph merged_with(const SocialGraph& base) const;
+
+ private:
+  /// Packs an unordered pair into one key (smaller id in the high bits).
+  static std::uint64_t pair_key(PlayerId a, PlayerId b);
+
+  std::size_t player_count_;
+  int coplay_threshold_;
+  int window_days_;
+  // pair -> per-day counts within the window (day -> count).
+  std::unordered_map<std::uint64_t, std::unordered_map<int, int>> counts_;
+};
+
+}  // namespace cloudfog::social

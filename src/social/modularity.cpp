@@ -1,0 +1,156 @@
+#include "social/modularity.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::social {
+
+namespace {
+
+/// Per-community tallies: intra-community edge count and cross-edge count
+/// touching the community.
+struct Tallies {
+  std::vector<double> intra;
+  std::vector<double> incident;
+};
+
+Tallies count_edges(const SocialGraph& graph, const Partition& partition,
+                    int community_count) {
+  Tallies t{std::vector<double>(static_cast<std::size_t>(community_count), 0.0),
+            std::vector<double>(static_cast<std::size_t>(community_count), 0.0)};
+  for (const auto& [a, b] : graph.edges()) {
+    const auto ca = static_cast<std::size_t>(partition[a]);
+    const auto cb = static_cast<std::size_t>(partition[b]);
+    if (ca == cb) {
+      t.intra[ca] += 1.0;
+    } else {
+      t.incident[ca] += 1.0;
+      t.incident[cb] += 1.0;
+    }
+  }
+  return t;
+}
+
+/// Γ = Σ_a (q_aa − p_a²) with q_aa = intra_a/m and
+/// p_a = (intra_a + incident_a/2)/m (each cross edge contributes half its
+/// weight to each side's row sum of the symmetric Q matrix).
+double modularity_from_tallies(const Tallies& t, double total_edges) {
+  if (total_edges == 0.0) return 0.0;
+  double gamma = 0.0;
+  for (std::size_t a = 0; a < t.intra.size(); ++a) {
+    const double p_a = (t.intra[a] + t.incident[a] / 2.0) / total_edges;
+    gamma += t.intra[a] / total_edges - p_a * p_a;
+  }
+  return gamma;
+}
+
+}  // namespace
+
+double modularity(const SocialGraph& graph, const Partition& partition,
+                  int community_count) {
+  CLOUDFOG_REQUIRE(partition.size() == graph.player_count(), "partition size mismatch");
+  CLOUDFOG_REQUIRE(community_count > 0, "need at least one community");
+  for (CommunityId c : partition) {
+    CLOUDFOG_REQUIRE(c >= 0 && c < community_count, "community id out of range");
+  }
+  return modularity_from_tallies(count_edges(graph, partition, community_count),
+                                 static_cast<double>(graph.edge_count()));
+}
+
+ModularityState::ModularityState(const SocialGraph& graph, Partition partition,
+                                 int community_count)
+    : graph_(graph),
+      partition_(std::move(partition)),
+      community_count_(community_count),
+      sizes_(static_cast<std::size_t>(community_count), 0),
+      total_edges_(static_cast<double>(graph.edge_count())) {
+  CLOUDFOG_REQUIRE(partition_.size() == graph.player_count(), "partition size mismatch");
+  CLOUDFOG_REQUIRE(community_count > 0, "need at least one community");
+  for (CommunityId c : partition_) {
+    CLOUDFOG_REQUIRE(c >= 0 && c < community_count, "community id out of range");
+    ++sizes_[static_cast<std::size_t>(c)];
+  }
+  auto tallies = count_edges(graph_, partition_, community_count_);
+  intra_ = std::move(tallies.intra);
+  incident_ = std::move(tallies.incident);
+  if (total_edges_ > 0.0) {
+    for (std::size_t a = 0; a < intra_.size(); ++a) restore(static_cast<CommunityId>(a));
+  }
+}
+
+void ModularityState::retract(CommunityId a) {
+  const auto ua = static_cast<std::size_t>(a);
+  sum_intra_ -= intra_[ua];
+  const double p_a = (intra_[ua] + incident_[ua] / 2.0) / total_edges_;
+  sum_p2_ -= p_a * p_a;
+}
+
+void ModularityState::restore(CommunityId a) {
+  const auto ua = static_cast<std::size_t>(a);
+  sum_intra_ += intra_[ua];
+  const double p_a = (intra_[ua] + incident_[ua] / 2.0) / total_edges_;
+  sum_p2_ += p_a * p_a;
+}
+
+double ModularityState::modularity() const {
+  if (total_edges_ == 0.0) return 0.0;
+  return sum_intra_ / total_edges_ - sum_p2_;
+}
+
+void ModularityState::move(PlayerId p, CommunityId target) {
+  CLOUDFOG_REQUIRE(p < partition_.size(), "player id out of range");
+  CLOUDFOG_REQUIRE(target >= 0 && target < community_count_, "community id out of range");
+  const CommunityId from = partition_[p];
+  if (from == target) return;
+
+  if (total_edges_ > 0.0) {
+    // Communities whose tallies change: from, target, and each friend's.
+    // Retract their Γ contributions, adjust, then restore — the affected
+    // set is at most deg(p) + 2 communities (duplicates handled by
+    // retract/restore being exact inverses per community, so we dedupe).
+    std::vector<CommunityId> affected{from, target};
+    for (PlayerId f : graph_.friends(p)) {
+      const CommunityId cf = partition_[f];
+      bool seen = false;
+      for (CommunityId c : affected) {
+        if (c == cf) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) affected.push_back(cf);
+    }
+    for (CommunityId c : affected) retract(c);
+
+    for (PlayerId f : graph_.friends(p)) {
+      const auto cf = static_cast<std::size_t>(partition_[f]);
+      const auto ufrom = static_cast<std::size_t>(from);
+      const auto uto = static_cast<std::size_t>(target);
+      // Remove edge (p,f) from its old classification…
+      if (cf == ufrom) {
+        intra_[ufrom] -= 1.0;
+      } else {
+        incident_[ufrom] -= 1.0;
+        incident_[cf] -= 1.0;
+      }
+      // …and add it under the new one.
+      if (cf == uto) {
+        intra_[uto] += 1.0;
+      } else {
+        incident_[uto] += 1.0;
+        incident_[cf] += 1.0;
+      }
+    }
+    for (CommunityId c : affected) restore(c);
+  }
+
+  partition_[p] = target;
+  --sizes_[static_cast<std::size_t>(from)];
+  ++sizes_[static_cast<std::size_t>(target)];
+}
+
+std::size_t ModularityState::community_size(CommunityId c) const {
+  CLOUDFOG_REQUIRE(c >= 0 && c < community_count_, "community id out of range");
+  return sizes_[static_cast<std::size_t>(c)];
+}
+
+}  // namespace cloudfog::social

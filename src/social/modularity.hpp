@@ -1,0 +1,64 @@
+// Newman–Girvan modularity (paper Eq. 13).
+//
+// For a partition of the friend graph into z communities, build the z×z
+// matrix Q whose entry q_ab is the fraction of edges joining communities a
+// and b; then Γ = Tr(Q) − ‖Q²‖ = Σ_a (q_aa − p_a²) with p_a = Σ_b q_ab.
+// High Γ means friends are concentrated inside communities — exactly what
+// the server-assignment strategy optimizes.
+//
+// ModularityState supports O(deg) incremental moves so the partitioner's
+// swap loop does not pay O(E) per trial; full recomputation is provided
+// for cross-checking.
+#pragma once
+
+#include <vector>
+
+#include "social/social_graph.hpp"
+
+namespace cloudfog::social {
+
+using CommunityId = int;
+using Partition = std::vector<CommunityId>;  // player -> community
+
+/// Full O(E + z²) modularity computation from scratch.
+double modularity(const SocialGraph& graph, const Partition& partition,
+                  int community_count);
+
+/// Maintains the inter-community edge tallies for a partition and updates
+/// them incrementally as nodes move. Γ itself is maintained as running
+/// aggregates, so move() is O(deg(p)) and modularity() is O(1) — the swap
+/// loop of the partitioner never pays the O(z²) full evaluation.
+class ModularityState {
+ public:
+  ModularityState(const SocialGraph& graph, Partition partition, int community_count);
+
+  const Partition& partition() const { return partition_; }
+  int community_count() const { return community_count_; }
+  CommunityId community_of(PlayerId p) const { return partition_[p]; }
+
+  /// Current modularity Γ. O(1) (cached aggregates).
+  double modularity() const;
+
+  /// Moves one player to `target`, updating tallies in O(deg(p)).
+  void move(PlayerId p, CommunityId target);
+
+  /// Number of players in a community.
+  std::size_t community_size(CommunityId c) const;
+
+ private:
+  /// Removes/adds community `a`'s contribution to the Γ aggregates.
+  void retract(CommunityId a);
+  void restore(CommunityId a);
+
+  const SocialGraph& graph_;
+  Partition partition_;
+  int community_count_;
+  std::vector<double> intra_;     ///< edges inside community a
+  std::vector<double> incident_;  ///< cross edges touching community a
+  std::vector<std::size_t> sizes_;
+  double total_edges_;
+  double sum_intra_ = 0.0;  ///< Σ_a intra_a
+  double sum_p2_ = 0.0;     ///< Σ_a ((intra_a + incident_a/2)/m)²
+};
+
+}  // namespace cloudfog::social

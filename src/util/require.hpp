@@ -1,0 +1,42 @@
+// Precondition / configuration checking.
+//
+// CloudFog distinguishes two error classes:
+//  * programmer/configuration errors (bad parameters, violated invariants)
+//    -> throw cloudfog::ConfigError via CLOUDFOG_REQUIRE;
+//  * modelled runtime conditions (no supernode available, capacity full)
+//    -> in-band return values, never exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cloudfog {
+
+/// Thrown when a caller violates a documented precondition or supplies an
+/// inconsistent configuration. Catching it is almost always a bug; fix the
+/// call site instead.
+class ConfigError : public std::logic_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw ConfigError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cloudfog
+
+/// Validate a precondition; throws cloudfog::ConfigError on failure.
+#define CLOUDFOG_REQUIRE(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cloudfog::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

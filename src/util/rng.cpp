@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash64(std::string_view s) {
+  // FNV-1a, then a SplitMix64 finalizer to spread low-entropy inputs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Rng::next_double() {
+  // 53 random bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CLOUDFOG_REQUIRE(lo <= hi, "uniform_int bounds inverted");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform(double lo, double hi) {
+  CLOUDFOG_REQUIRE(lo < hi, "uniform bounds inverted");
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) {
+  CLOUDFOG_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  return next_double() < p;
+}
+
+Rng Rng::fork(std::string_view label) {
+  const std::uint64_t seed = splitmix64(next_u64() ^ hash64(label));
+  const std::uint64_t stream = splitmix64(seed ^ 0x5851f42d4c957f2dULL);
+  return Rng(seed, stream);
+}
+
+}  // namespace cloudfog::util

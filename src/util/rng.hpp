@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in CloudFog flows from a single root seed so
+// that experiments are exactly reproducible across runs and platforms.
+// The generator is PCG32 (O'Neill, 2014): 64-bit state, 32-bit output,
+// excellent statistical quality and trivially portable — unlike
+// std::mt19937 whose distributions are not specified bit-exactly across
+// standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cloudfog::util {
+
+/// PCG32 generator. Copyable value type; copies evolve independently,
+/// which makes it easy to hand each subsystem its own stream.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rngs built from the same (seed, stream)
+  /// produce identical sequences; different streams are independent.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Derives an independent child generator; `label` decorrelates children
+  /// spawned from the same parent state (e.g. one per subsystem).
+  Rng fork(std::string_view label);
+
+  /// Standard-library UniformRandomBitGenerator interface, so Rng can be
+  /// used with std::shuffle and friends.
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffU; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// SplitMix64 hash step; used for seed derivation and by Rng::fork.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Stable 64-bit hash of a string, for deriving labelled sub-seeds.
+std::uint64_t hash64(std::string_view s);
+
+}  // namespace cloudfog::util

@@ -1,0 +1,18 @@
+#include "video/segment.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::video {
+
+double segment_bits(const SegmentSpec& spec) {
+  CLOUDFOG_REQUIRE(spec.duration_s > 0.0, "segment duration must be positive");
+  CLOUDFOG_REQUIRE(spec.bitrate_kbps > 0.0, "bitrate must be positive");
+  return spec.bitrate_kbps * 1000.0 * spec.duration_s;
+}
+
+double segments_from_bits(double bits, const SegmentSpec& spec) {
+  CLOUDFOG_REQUIRE(bits >= 0.0, "negative buffered bits");
+  return bits / segment_bits(spec);
+}
+
+}  // namespace cloudfog::video

@@ -1,0 +1,23 @@
+// Video segment model.
+//
+// Game video is streamed as fixed-duration segments; a segment's size in
+// bits is bitrate × duration (the paper's τ). The playback buffer and the
+// adaptation rules (§3.3) are all expressed in segments.
+#pragma once
+
+namespace cloudfog::video {
+
+struct SegmentSpec {
+  double duration_s = 1.0;     ///< segment playback duration
+  double bitrate_kbps = 800.0; ///< encoding bitrate
+};
+
+/// Segment size in bits (the paper's τ when used as a divisor of buffered
+/// bits).
+double segment_bits(const SegmentSpec& spec);
+
+/// Number of whole+fractional segments represented by `bits` of buffered
+/// video at the given spec.
+double segments_from_bits(double bits, const SegmentSpec& spec);
+
+}  // namespace cloudfog::video

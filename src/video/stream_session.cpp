@@ -1,0 +1,32 @@
+#include "video/stream_session.hpp"
+
+#include "game/quality_ladder.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::video {
+
+StreamSession::StreamSession(const game::GameCatalog& catalog, game::GameId game,
+                             RateAdapterConfig adapter_cfg, util::Rng rng)
+    : catalog_(catalog), game_(game), adapter_(catalog, game, adapter_cfg, rng) {}
+
+const game::GameInfo& StreamSession::game_info() const { return catalog_.game(game_); }
+
+QosSample StreamSession::observe(const PathObservation& path) {
+  CLOUDFOG_REQUIRE(path.interval_s > 0.0, "interval must be positive");
+  QosSample sample;
+  sample.bitrate_kbps = adapter_.current_bitrate_kbps();
+  sample.response_latency_ms = path.response_latency_ms;
+
+  sample.continuity =
+      packet_continuity(path.video_latency_ms, game_info().latency_requirement_ms,
+                        path.jitter_mean_ms, path.throughput_kbps, sample.bitrate_kbps);
+
+  const double packets = game::kFramesPerSecond * path.interval_s;
+  meter_.add(sample.continuity, packets);
+
+  const auto outcome = adapter_.step(path.interval_s, path.throughput_kbps * 1000.0);
+  sample.decision = outcome.decision;
+  return sample;
+}
+
+}  // namespace cloudfog::video

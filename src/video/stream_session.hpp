@@ -1,0 +1,69 @@
+// One game-video streaming session: a player watching one game from one
+// serving entity (supernode, CDN server or cloud datacenter).
+//
+// The QoS engine owns path computation (propagation, load shares, jitter
+// inflation); the session owns the receiver state — the rate adapter and
+// the running continuity — and converts a path observation into a QoS
+// sample for the interval.
+#pragma once
+
+#include "game/game_catalog.hpp"
+#include "video/continuity.hpp"
+#include "video/rate_adapter.hpp"
+
+namespace cloudfog::video {
+
+/// What the network gave this stream over an observation interval.
+struct PathObservation {
+  /// Deterministic end-to-end response latency in ms (playout/processing
+  /// + action path + video path + transfer), computed by the QoS engine
+  /// for the session's *current* bitrate. Reported as the Fig. 7 metric.
+  double response_latency_ms = 0.0;
+  /// Delivery latency of a video packet (serving entity → player one-way
+  /// + transfer), the quantity the continuity requirement applies to:
+  /// §4.1 counts "packets arrived within the required response latency".
+  double video_latency_ms = 0.0;
+  /// Mean per-packet jitter over the interval (ms), congestion-inflated.
+  double jitter_mean_ms = 6.0;
+  /// Sustainable delivery rate toward the player (kbps).
+  double throughput_kbps = 0.0;
+  /// Interval length in seconds.
+  double interval_s = 1.0;
+};
+
+struct QosSample {
+  double response_latency_ms = 0.0;
+  double continuity = 1.0;       ///< on-time fraction over this interval
+  double bitrate_kbps = 0.0;     ///< encoding bitrate used this interval
+  RateDecision decision = RateDecision::kHold;
+};
+
+class StreamSession {
+ public:
+  StreamSession(const game::GameCatalog& catalog, game::GameId game,
+                RateAdapterConfig adapter_cfg, util::Rng rng = util::Rng(0x5eed));
+
+  game::GameId game_id() const { return game_; }
+  const game::GameInfo& game_info() const;
+  double current_bitrate_kbps() const { return adapter_.current_bitrate_kbps(); }
+  int current_quality_level() const { return adapter_.current_level().level; }
+
+  /// Processes one observation interval; updates adapter + continuity.
+  QosSample observe(const PathObservation& path);
+
+  /// Session-lifetime continuity (packet-weighted).
+  double session_continuity() const { return meter_.continuity(); }
+  bool satisfied() const { return meter_.satisfied(); }
+
+  /// Resets lifetime accounting (a new game/day) but keeps the adapter's
+  /// learned level.
+  void reset_accounting() { meter_.reset(); }
+
+ private:
+  const game::GameCatalog& catalog_;
+  game::GameId game_;
+  RateAdapter adapter_;
+  ContinuityMeter meter_;
+};
+
+}  // namespace cloudfog::video

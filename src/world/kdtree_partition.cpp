@@ -1,0 +1,154 @@
+#include "world/kdtree_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cloudfog::world {
+
+WorldPartition::WorldPartition(std::vector<Region> regions, double width, double height)
+    : regions_(std::move(regions)), width_(width), height_(height) {
+  CLOUDFOG_REQUIRE(!regions_.empty(), "partition needs at least one region");
+}
+
+std::size_t WorldPartition::region_of(const Vec2& p) const {
+  // Clamp points on the outer boundary just inside, so the half-open
+  // rectangles cover them.
+  Vec2 q{std::min(p.x, width_ * (1.0 - 1e-12)), std::min(p.y, height_ * (1.0 - 1e-12))};
+  q.x = std::max(q.x, 0.0);
+  q.y = std::max(q.y, 0.0);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].bounds.contains(q)) return i;
+  }
+  CLOUDFOG_REQUIRE(false, "partition does not cover the world");
+  return 0;  // unreachable
+}
+
+std::vector<std::size_t> WorldPartition::server_loads(const VirtualWorld& world,
+                                                      std::size_t server_count) const {
+  CLOUDFOG_REQUIRE(server_count >= 1, "need at least one server");
+  std::vector<std::size_t> loads(server_count, 0);
+  for (const Avatar& avatar : world.avatars()) {
+    if (!avatar.alive) continue;
+    const std::size_t server = server_of(avatar.position);
+    CLOUDFOG_REQUIRE(server < server_count, "region mapped to unknown server");
+    ++loads[server];
+  }
+  return loads;
+}
+
+double WorldPartition::imbalance(const std::vector<std::size_t>& loads) {
+  CLOUDFOG_REQUIRE(!loads.empty(), "no loads");
+  std::size_t total = 0;
+  std::size_t peak = 0;
+  for (std::size_t l : loads) {
+    total += l;
+    peak = std::max(peak, l);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(peak) / mean;
+}
+
+double WorldPartition::cross_server_interaction_fraction(const VirtualWorld& world) const {
+  const auto pairs = world.interaction_pairs();
+  if (pairs.empty()) return 0.0;
+  std::size_t cross = 0;
+  for (const auto& [a, b] : pairs) {
+    if (server_of(world.avatar(a).position) != server_of(world.avatar(b).position)) ++cross;
+  }
+  return static_cast<double>(cross) / static_cast<double>(pairs.size());
+}
+
+namespace {
+
+void split(std::vector<Vec2>& points, std::size_t begin, std::size_t end, Rect bounds,
+           std::size_t leaves, std::vector<Region>& out) {
+  if (leaves == 1) {
+    Region region;
+    region.bounds = bounds;
+    region.load = end - begin;
+    out.push_back(region);
+    return;
+  }
+  // Split at the median along the wider axis, like [13].
+  const bool split_x = (bounds.x1 - bounds.x0) >= (bounds.y1 - bounds.y0);
+  const std::size_t mid = begin + (end - begin) / 2;
+  auto cmp_x = [](const Vec2& a, const Vec2& b) { return a.x < b.x; };
+  auto cmp_y = [](const Vec2& a, const Vec2& b) { return a.y < b.y; };
+  double cut;
+  if (end > begin) {
+    std::nth_element(points.begin() + static_cast<std::ptrdiff_t>(begin),
+                     points.begin() + static_cast<std::ptrdiff_t>(mid),
+                     points.begin() + static_cast<std::ptrdiff_t>(end),
+                     split_x ? cmp_x : cmp_y);
+    cut = split_x ? points[mid].x : points[mid].y;
+  } else {
+    // Empty subtree: cut geometrically.
+    cut = split_x ? (bounds.x0 + bounds.x1) / 2.0 : (bounds.y0 + bounds.y1) / 2.0;
+  }
+  // Guard degenerate cuts (all points identical on the axis).
+  if (split_x) {
+    cut = std::clamp(cut, bounds.x0 + 1e-9, bounds.x1 - 1e-9);
+  } else {
+    cut = std::clamp(cut, bounds.y0 + 1e-9, bounds.y1 - 1e-9);
+  }
+  Rect lo = bounds;
+  Rect hi = bounds;
+  if (split_x) {
+    lo.x1 = cut;
+    hi.x0 = cut;
+  } else {
+    lo.y1 = cut;
+    hi.y0 = cut;
+  }
+  split(points, begin, mid, lo, leaves / 2, out);
+  split(points, mid, end, hi, leaves - leaves / 2, out);
+}
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+WorldPartition build_kdtree_partition(const VirtualWorld& world, std::size_t region_count,
+                                      std::size_t server_count) {
+  CLOUDFOG_REQUIRE(is_power_of_two(region_count), "region count must be a power of two");
+  CLOUDFOG_REQUIRE(server_count >= 1, "need at least one server");
+  std::vector<Vec2> points;
+  points.reserve(world.population());
+  for (const Avatar& avatar : world.avatars()) {
+    if (avatar.alive) points.push_back(avatar.position);
+  }
+  const Rect bounds{0.0, 0.0, world.config().width, world.config().height};
+  std::vector<Region> regions;
+  regions.reserve(region_count);
+  split(points, 0, points.size(), bounds, region_count, regions);
+  // Leaves carry (near-)equal population, so round-robin assignment gives
+  // every server (near-)equal load.
+  for (std::size_t i = 0; i < regions.size(); ++i) regions[i].server = i % server_count;
+  return WorldPartition(std::move(regions), world.config().width, world.config().height);
+}
+
+WorldPartition build_grid_partition(const VirtualWorld& world, std::size_t rows,
+                                    std::size_t cols, std::size_t server_count) {
+  CLOUDFOG_REQUIRE(rows >= 1 && cols >= 1, "grid must have at least one cell");
+  CLOUDFOG_REQUIRE(server_count >= 1, "need at least one server");
+  const double w = world.config().width / static_cast<double>(cols);
+  const double h = world.config().height / static_cast<double>(rows);
+  std::vector<Region> regions;
+  regions.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Region region;
+      region.bounds = Rect{static_cast<double>(c) * w, static_cast<double>(r) * h,
+                           static_cast<double>(c + 1) * w, static_cast<double>(r + 1) * h};
+      region.server = (r * cols + c) % server_count;
+      regions.push_back(region);
+    }
+  }
+  WorldPartition partition(std::move(regions), world.config().width, world.config().height);
+  return partition;
+}
+
+}  // namespace cloudfog::world

@@ -1,0 +1,76 @@
+// kd-tree partitioning of the virtual world across game servers.
+//
+// The paper's MMOG background ([1], [13] — Bezerra et al.) balances a
+// virtual world across servers by recursively splitting it at the median
+// avatar coordinate, alternating axes, so every leaf region carries an
+// equal share of the population regardless of hotspots. This module
+// implements that partitioner plus the static uniform grid it is usually
+// compared against, and the load / cross-boundary metrics that motivate
+// it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "world/virtual_world.hpp"
+
+namespace cloudfog::world {
+
+/// Axis-aligned rectangle [x0,x1) × [y0,y1).
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  bool contains(const Vec2& p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+};
+
+struct Region {
+  Rect bounds;
+  std::size_t server = 0;  ///< server hosting this region's state
+  std::size_t load = 0;    ///< avatars inside at build time
+};
+
+class WorldPartition {
+ public:
+  WorldPartition(std::vector<Region> regions, double width, double height);
+
+  std::size_t region_count() const { return regions_.size(); }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Region containing a point. Points on the outer edge clamp inward.
+  std::size_t region_of(const Vec2& p) const;
+  std::size_t server_of(const Vec2& p) const { return regions_[region_of(p)].server; }
+
+  /// Per-server avatar counts for the current world state.
+  std::vector<std::size_t> server_loads(const VirtualWorld& world,
+                                        std::size_t server_count) const;
+
+  /// max/mean of per-server load — 1.0 is perfect balance.
+  static double imbalance(const std::vector<std::size_t>& loads);
+
+  /// Fraction of interacting avatar pairs whose members sit on different
+  /// servers — each such pair costs inter-server communication (§3.4).
+  double cross_server_interaction_fraction(const VirtualWorld& world) const;
+
+ private:
+  std::vector<Region> regions_;
+  double width_;
+  double height_;
+};
+
+/// Builds a kd-tree partition with `region_count` leaves (must be a power
+/// of two) over the world's current avatars, assigning leaves to
+/// `server_count` servers round-robin (each server gets contiguousish,
+/// equally loaded leaves).
+WorldPartition build_kdtree_partition(const VirtualWorld& world, std::size_t region_count,
+                                      std::size_t server_count);
+
+/// The naive alternative: a fixed rows×cols grid, population-blind.
+WorldPartition build_grid_partition(const VirtualWorld& world, std::size_t rows,
+                                    std::size_t cols, std::size_t server_count);
+
+}  // namespace cloudfog::world

@@ -1,0 +1,60 @@
+#include "world/state_engine.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::world {
+
+GameStateEngine::GameStateEngine(VirtualWorld& world, StateEngineConfig cfg)
+    : world_(world),
+      cfg_(cfg),
+      partition_(build_kdtree_partition(world, cfg.region_count, cfg.server_count)) {
+  CLOUDFOG_REQUIRE(cfg.server_count >= 1, "need at least one server");
+  CLOUDFOG_REQUIRE(cfg.rebalance_threshold >= 1.0, "threshold below perfect balance");
+}
+
+void GameStateEngine::rebalance() {
+  partition_ = build_kdtree_partition(world_, cfg_.region_count, cfg_.server_count);
+}
+
+TickStats GameStateEngine::tick(double dt) {
+  world_.step(dt);
+
+  TickStats stats;
+  const auto loads = partition_.server_loads(world_, cfg_.server_count);
+  stats.imbalance = WorldPartition::imbalance(loads);
+
+  // Per-server work: avatar updates plus its share of interactions.
+  std::vector<double> work_ms(cfg_.server_count, cfg_.base_compute_ms);
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    work_ms[s] += static_cast<double>(loads[s]) * cfg_.per_avatar_us / 1000.0;
+  }
+  const auto pairs = world_.interaction_pairs();
+  stats.interactions = pairs.size();
+  for (const auto& [a, b] : pairs) {
+    const std::size_t sa = partition_.server_of(world_.avatar(a).position);
+    const std::size_t sb = partition_.server_of(world_.avatar(b).position);
+    work_ms[sa] += cfg_.per_interaction_us / 1000.0;
+    if (sa != sb) ++stats.cross_server_interactions;
+  }
+
+  stats.compute_ms =
+      *std::max_element(work_ms.begin(), work_ms.end()) +
+      static_cast<double>(stats.cross_server_interactions) * cfg_.cross_sync_ms_per_pair;
+
+  if (stats.imbalance > cfg_.rebalance_threshold && world_.population() > 0) {
+    rebalance();
+    stats.rebalanced = true;
+  }
+  return stats;
+}
+
+double GameStateEngine::update_feed_bps(const Vec2& center, double radius,
+                                        double tick_rate_hz) const {
+  CLOUDFOG_REQUIRE(tick_rate_hz > 0.0, "tick rate must be positive");
+  const auto nearby = world_.population_near(center, radius);
+  return static_cast<double>(nearby) * cfg_.update_bits_per_avatar * tick_rate_hz;
+}
+
+}  // namespace cloudfog::world

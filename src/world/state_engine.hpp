@@ -1,0 +1,64 @@
+// Game-state computation engine: ties the virtual world to server costs.
+//
+// Each tick the engine advances the world, computes every server's work
+// (avatar updates + interaction resolution) and the synchronization cost
+// of interactions that straddle servers. The tick's wall time is the
+// *busiest* server's work plus the cross-server synchronization — this is
+// the physical grounding for the QoS engine's `state_compute_ms` and
+// `cross_server_penalty_ms` constants, and the per-area update feed it
+// reports grounds Λ (the cloud→supernode update bandwidth).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "world/kdtree_partition.hpp"
+#include "world/virtual_world.hpp"
+
+namespace cloudfog::world {
+
+struct StateEngineConfig {
+  std::size_t server_count = 8;
+  std::size_t region_count = 64;        ///< kd-tree leaves (power of two)
+  double base_compute_ms = 1.0;         ///< fixed per-tick server overhead
+  double per_avatar_us = 2.0;           ///< movement/state update per avatar
+  double per_interaction_us = 25.0;     ///< combat/trade resolution per pair
+  double cross_sync_ms_per_pair = 0.05; ///< inter-server round per straddling pair
+  double update_bits_per_avatar = 400.0;///< state delta per avatar per tick
+  /// Rebuild the kd-tree when load imbalance exceeds this factor.
+  double rebalance_threshold = 1.5;
+};
+
+struct TickStats {
+  double compute_ms = 0.0;  ///< critical-path state computation time
+  std::size_t interactions = 0;
+  std::size_t cross_server_interactions = 0;
+  double imbalance = 1.0;  ///< max/mean server load before any rebuild
+  bool rebalanced = false;
+};
+
+class GameStateEngine {
+ public:
+  GameStateEngine(VirtualWorld& world, StateEngineConfig cfg);
+
+  const StateEngineConfig& config() const { return cfg_; }
+  const WorldPartition& partition() const { return partition_; }
+
+  /// Advances the world by `dt` and accounts the tick.
+  TickStats tick(double dt);
+
+  /// Rebuilds the kd-tree over the current population.
+  void rebalance();
+
+  /// Bandwidth (bits/s) of the update feed for a subscriber interested in
+  /// the circle around `center` — what the cloud streams to a supernode
+  /// whose players live there (Λ in the paper's cost model).
+  double update_feed_bps(const Vec2& center, double radius, double tick_rate_hz) const;
+
+ private:
+  VirtualWorld& world_;
+  StateEngineConfig cfg_;
+  WorldPartition partition_;
+};
+
+}  // namespace cloudfog::world

@@ -1,0 +1,146 @@
+#include "world/virtual_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/distributions.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::world {
+
+double distance(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+VirtualWorld::VirtualWorld(WorldConfig cfg, util::Rng rng) : cfg_(cfg), rng_(rng) {
+  CLOUDFOG_REQUIRE(cfg.width > 0.0 && cfg.height > 0.0, "world must have positive area");
+  CLOUDFOG_REQUIRE(cfg.interaction_radius > 0.0, "interaction radius must be positive");
+  CLOUDFOG_REQUIRE(cfg.max_speed >= cfg.min_speed && cfg.min_speed > 0.0,
+                   "speed bounds inverted");
+  CLOUDFOG_REQUIRE(cfg.hotspot_fraction >= 0.0 && cfg.hotspot_fraction <= 1.0,
+                   "hotspot fraction out of [0,1]");
+  CLOUDFOG_REQUIRE(cfg.hotspot_count >= 1, "need at least one hotspot");
+  hotspots_.reserve(cfg.hotspot_count);
+  for (std::size_t i = 0; i < cfg.hotspot_count; ++i) {
+    hotspots_.push_back(Vec2{rng_.uniform(0.0, cfg.width), rng_.uniform(0.0, cfg.height)});
+  }
+}
+
+Vec2 VirtualWorld::sample_point() {
+  if (rng_.chance(cfg_.hotspot_fraction)) {
+    const auto h = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(hotspots_.size()) - 1));
+    Vec2 p{hotspots_[h].x + cfg_.hotspot_sigma * util::sample_standard_normal(rng_),
+           hotspots_[h].y + cfg_.hotspot_sigma * util::sample_standard_normal(rng_)};
+    p.x = std::clamp(p.x, 0.0, cfg_.width);
+    p.y = std::clamp(p.y, 0.0, cfg_.height);
+    return p;
+  }
+  return Vec2{rng_.uniform(0.0, cfg_.width), rng_.uniform(0.0, cfg_.height)};
+}
+
+void VirtualWorld::retarget(Avatar& avatar) {
+  avatar.waypoint = sample_point();
+  avatar.speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
+}
+
+AvatarId VirtualWorld::spawn() {
+  AvatarId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = avatars_.size();
+    avatars_.push_back(Avatar{});
+  }
+  Avatar& avatar = avatars_[id];
+  avatar.id = id;
+  avatar.position = sample_point();
+  avatar.alive = true;
+  retarget(avatar);
+  ++population_;
+  return id;
+}
+
+void VirtualWorld::despawn(AvatarId id) {
+  CLOUDFOG_REQUIRE(id < avatars_.size() && avatars_[id].alive, "no such avatar");
+  avatars_[id].alive = false;
+  free_ids_.push_back(id);
+  --population_;
+}
+
+const Avatar& VirtualWorld::avatar(AvatarId id) const {
+  CLOUDFOG_REQUIRE(id < avatars_.size() && avatars_[id].alive, "no such avatar");
+  return avatars_[id];
+}
+
+void VirtualWorld::step(double dt) {
+  CLOUDFOG_REQUIRE(dt >= 0.0, "negative time step");
+  for (Avatar& avatar : avatars_) {
+    if (!avatar.alive) continue;
+    const double remaining = distance(avatar.position, avatar.waypoint);
+    const double travel = avatar.speed * dt;
+    if (travel >= remaining) {
+      avatar.position = avatar.waypoint;
+      retarget(avatar);
+      continue;
+    }
+    const double frac = travel / remaining;
+    avatar.position.x += (avatar.waypoint.x - avatar.position.x) * frac;
+    avatar.position.y += (avatar.waypoint.y - avatar.position.y) * frac;
+  }
+}
+
+namespace {
+
+std::int64_t cell_key(double x, double y, double cell) {
+  const auto cx = static_cast<std::int64_t>(x / cell);
+  const auto cy = static_cast<std::int64_t>(y / cell);
+  return (cx << 32) ^ (cy & 0xffffffff);
+}
+
+}  // namespace
+
+std::vector<std::pair<AvatarId, AvatarId>> VirtualWorld::interaction_pairs() const {
+  const double cell = cfg_.interaction_radius;
+  std::unordered_map<std::int64_t, std::vector<AvatarId>> grid;
+  for (const Avatar& avatar : avatars_) {
+    if (!avatar.alive) continue;
+    grid[cell_key(avatar.position.x, avatar.position.y, cell)].push_back(avatar.id);
+  }
+  std::vector<std::pair<AvatarId, AvatarId>> pairs;
+  for (const Avatar& avatar : avatars_) {
+    if (!avatar.alive) continue;
+    // Scan this cell and its 8 neighbours; emit each pair once (a < b).
+    const auto cx = static_cast<std::int64_t>(avatar.position.x / cell);
+    const auto cy = static_cast<std::int64_t>(avatar.position.y / cell);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = grid.find(((cx + dx) << 32) ^ ((cy + dy) & 0xffffffff));
+        if (it == grid.end()) continue;
+        for (AvatarId other : it->second) {
+          if (other <= avatar.id) continue;
+          if (distance(avatar.position, avatars_[other].position) <=
+              cfg_.interaction_radius) {
+            pairs.emplace_back(avatar.id, other);
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+std::size_t VirtualWorld::population_near(const Vec2& where, double radius) const {
+  CLOUDFOG_REQUIRE(radius >= 0.0, "negative radius");
+  std::size_t count = 0;
+  for (const Avatar& avatar : avatars_) {
+    if (avatar.alive && distance(avatar.position, where) <= radius) ++count;
+  }
+  return count;
+}
+
+}  // namespace cloudfog::world

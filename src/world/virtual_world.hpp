@@ -1,0 +1,93 @@
+// The virtual world: the thing the cloud actually computes.
+//
+// The paper's cloud "collects action information from all involved
+// players and performs the computation of the new game state of the
+// virtual world (including the new shape and position of objects and
+// states of avatars)" (§3.1). This module implements that substrate: a
+// bounded 2-D world of avatars moving under a random-waypoint model, with
+// neighbor queries (who is close enough to interact) served by a uniform
+// grid index.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cloudfog::world {
+
+using AvatarId = std::size_t;
+
+/// Position in world units (game metres).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Vec2& a, const Vec2& b);
+
+struct Avatar {
+  AvatarId id = 0;
+  Vec2 position;
+  Vec2 waypoint;       ///< current movement target
+  double speed = 0.0;  ///< world units per second
+  bool alive = false;  ///< slot freed on despawn
+};
+
+struct WorldConfig {
+  double width = 10000.0;
+  double height = 10000.0;
+  /// Two avatars closer than this interact (fight/trade/chat) — the
+  /// source of inter-server communication in §3.4.
+  double interaction_radius = 50.0;
+  double min_speed = 10.0;
+  double max_speed = 60.0;
+  /// Avatars cluster at points of interest (towns, dungeons): waypoints
+  /// are drawn near a hotspot with this probability, else uniformly.
+  double hotspot_fraction = 0.7;
+  std::size_t hotspot_count = 12;
+  double hotspot_sigma = 300.0;
+};
+
+class VirtualWorld {
+ public:
+  VirtualWorld(WorldConfig cfg, util::Rng rng);
+
+  const WorldConfig& config() const { return cfg_; }
+
+  /// Spawns an avatar at a hotspot-biased position; returns its id.
+  AvatarId spawn();
+
+  /// Removes an avatar; its id may be reused by later spawns.
+  void despawn(AvatarId id);
+
+  std::size_t population() const { return population_; }
+  const Avatar& avatar(AvatarId id) const;
+  const std::vector<Avatar>& avatars() const { return avatars_; }
+
+  /// Advances every avatar `dt` seconds along its waypoint (re-targeting
+  /// on arrival).
+  void step(double dt);
+
+  /// All unordered pairs of live avatars within the interaction radius.
+  /// Grid-bucketed: O(n + pairs) rather than O(n²).
+  std::vector<std::pair<AvatarId, AvatarId>> interaction_pairs() const;
+
+  /// Number of live avatars within `radius` of `where`.
+  std::size_t population_near(const Vec2& where, double radius) const;
+
+ private:
+  Vec2 sample_point();
+  void retarget(Avatar& avatar);
+
+  WorldConfig cfg_;
+  util::Rng rng_;
+  std::vector<Vec2> hotspots_;
+  std::vector<Avatar> avatars_;     // dense slots, alive flag marks use
+  std::vector<AvatarId> free_ids_;  // recycled slots
+  std::size_t population_ = 0;
+};
+
+}  // namespace cloudfog::world

@@ -1,0 +1,172 @@
+#include "core/qos_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "video/rate_adapter.hpp"
+
+namespace cloudfog::core {
+namespace {
+
+class QosEngineTest : public ::testing::Test {
+ protected:
+  QosEngineTest()
+      : latency_(net::LatencyModelConfig{}), catalog_(game::GameCatalog::paper_default()) {
+    std::vector<DatacenterState> dcs(1);
+    dcs[0].endpoint = net::make_infrastructure_endpoint({1500.0, 0.0});
+    dcs[0].uplink_mbps = 100.0;
+    cloud_.emplace(std::move(dcs), latency_, net::IpLocator{0.0});
+    engine_.emplace(QosEngineConfig{}, latency_, catalog_);
+  }
+
+  PlayerState make_player(double x, game::GameId game, ServingRef serving) {
+    PlayerState p;
+    p.info.id = players_.size();
+    p.info.endpoint = net::Endpoint{{x, 0.0}, 5.0};
+    p.info.bandwidth = {10.0, 3.3};
+    p.game = game;
+    p.online = true;
+    p.serving = serving;
+    p.state_dc = 0;
+    video::RateAdapterConfig adapter;
+    adapter.enabled = false;
+    p.session.emplace(catalog_, game, adapter);
+    return p;
+  }
+
+  void add_sn(double x, double upload = 20.0, int capacity = 10) {
+    SupernodeState sn;
+    sn.id = fleet_.size();
+    sn.endpoint = net::Endpoint{{x, 0.0}, 2.0};
+    sn.upload_mbps = upload;
+    sn.capacity = capacity;
+    fleet_.push_back(sn);
+  }
+
+  net::LatencyModel latency_;
+  game::GameCatalog catalog_;
+  std::optional<Cloud> cloud_;
+  std::optional<QosEngine> engine_;
+  std::vector<PlayerState> players_;
+  std::vector<SupernodeState> fleet_;
+  std::vector<CdnServerState> cdn_;
+};
+
+TEST_F(QosEngineTest, NearbySupernodeBeatsFarCloud) {
+  add_sn(10.0);
+  fleet_[0].served = 1;
+  players_.push_back(make_player(0.0, 4, {ServingKind::kSupernode, 0}));
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCloud, 0}));
+  engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  // Both sessions ran; the fog-served one saw higher continuity.
+  const double fog_cont = players_[0].cycle_continuity_sum;
+  const double cloud_cont = players_[1].cycle_continuity_sum;
+  EXPECT_GT(fog_cont, cloud_cont);
+}
+
+TEST_F(QosEngineTest, AggregatesCountServingKinds) {
+  add_sn(10.0);
+  fleet_[0].served = 1;
+  players_.push_back(make_player(0.0, 4, {ServingKind::kSupernode, 0}));
+  players_.push_back(make_player(100.0, 3, {ServingKind::kCloud, 0}));
+  players_.push_back(make_player(200.0, 2, {ServingKind::kNone, 0}));
+  players_[2].online = false;
+  const auto qos = engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  EXPECT_EQ(qos.online_sessions, 2u);
+  EXPECT_EQ(qos.fog_served, 1u);
+  EXPECT_EQ(qos.cloud_served, 1u);
+  EXPECT_EQ(qos.cdn_served, 0u);
+}
+
+TEST_F(QosEngineTest, EgressIncludesVideoAndUpdateFeeds) {
+  add_sn(10.0);
+  fleet_[0].served = 1;
+  players_.push_back(make_player(0.0, 4, {ServingKind::kSupernode, 0}));
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCloud, 0}));
+  const auto qos = engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  // One direct 1800 kbps stream + one 200 kbps update feed = 2.0 Mbps.
+  EXPECT_NEAR(qos.cloud_egress_mbps, 2.0, 1e-6);
+}
+
+TEST_F(QosEngineTest, IdleSupernodeGetsNoUpdateFeed) {
+  add_sn(10.0);  // deployed but serving nobody
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCloud, 0}));
+  const auto qos = engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  EXPECT_NEAR(qos.cloud_egress_mbps, 1.8, 1e-6);
+}
+
+TEST_F(QosEngineTest, OverloadedSupernodeHurtsContinuity) {
+  add_sn(10.0, /*upload=*/3.0, /*capacity=*/10);  // tiny uplink
+  add_sn(12.0, /*upload=*/40.0, /*capacity=*/10);
+  fleet_[0].served = 3;
+  fleet_[1].served = 3;
+  for (int i = 0; i < 3; ++i) {
+    players_.push_back(make_player(0.0, 4, {ServingKind::kSupernode, 0}));
+    players_.push_back(make_player(0.0, 4, {ServingKind::kSupernode, 1}));
+  }
+  engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  // Players on the saturated supernode (3 × 1.8 Mbps demand vs 3 Mbps)
+  // experienced worse continuity than those on the healthy one.
+  EXPECT_LT(players_[0].cycle_continuity_sum, players_[1].cycle_continuity_sum);
+}
+
+TEST_F(QosEngineTest, CrossServerLatencyAddsToResponse) {
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCloud, 0}));
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCloud, 0}));
+  players_[1].cross_server_ms = 40.0;
+  const auto qos = engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  EXPECT_NEAR(qos.avg_server_latency_ms, 20.0, 1e-9);
+  // The response latencies differ by exactly the cross-server term.
+  const double lat0 = players_[0].cycle_continuity_samples;  // both sampled
+  ASSERT_GT(lat0, 0.0);
+}
+
+TEST_F(QosEngineTest, CdnPathIncludesCooperationPenalty) {
+  CdnServerState edge;
+  edge.endpoint = net::make_infrastructure_endpoint({10.0, 0.0});
+  edge.uplink_mbps = 100.0;
+  edge.capacity = 10;
+  edge.served = 1;
+  cdn_.push_back(edge);
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCdn, 0}));
+
+  add_sn(10.0);
+  fleet_[0].served = 1;
+  players_.push_back(make_player(0.0, 4, {ServingKind::kSupernode, 0}));
+
+  const PlayerState& cdn_p = players_[0];
+  const PlayerState& fog_p = players_[1];
+  const double cdn_lat = engine_->unloaded_response_latency_ms(
+      cdn_p, cdn_p.serving, fleet_, *cloud_, cdn_, 1800.0);
+  const double fog_lat = engine_->unloaded_response_latency_ms(
+      fog_p, fog_p.serving, fleet_, *cloud_, cdn_, 1800.0);
+  // Same geometry, but the CDN pays wide-area state cooperation.
+  EXPECT_GT(cdn_lat, fog_lat + QosEngineConfig{}.cdn_cooperation_ms * 0.5);
+}
+
+TEST_F(QosEngineTest, UnloadedLatencyGrowsWithBitrate) {
+  players_.push_back(make_player(0.0, 4, {ServingKind::kCloud, 0}));
+  const double slow = engine_->unloaded_response_latency_ms(
+      players_[0], players_[0].serving, fleet_, *cloud_, cdn_, 300.0);
+  const double fast = engine_->unloaded_response_latency_ms(
+      players_[0], players_[0].serving, fleet_, *cloud_, cdn_, 1800.0);
+  EXPECT_GT(fast, slow);
+}
+
+TEST_F(QosEngineTest, EmptySubcycleIsWellDefined) {
+  const auto qos = engine_->run_subcycle(players_, fleet_, *cloud_, cdn_);
+  EXPECT_EQ(qos.online_sessions, 0u);
+  EXPECT_DOUBLE_EQ(qos.cloud_egress_mbps, 0.0);
+}
+
+TEST_F(QosEngineTest, ConfigValidation) {
+  QosEngineConfig cfg;
+  cfg.substeps = 0;
+  EXPECT_THROW(QosEngine(cfg, latency_, catalog_), ConfigError);
+  cfg = QosEngineConfig{};
+  cfg.burst_headroom = 0.5;
+  EXPECT_THROW(QosEngine(cfg, latency_, catalog_), ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

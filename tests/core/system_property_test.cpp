@@ -1,0 +1,146 @@
+// Property tests: invariants that must hold for EVERY architecture arm,
+// workload mode and strategy combination, checked at every subcycle of a
+// multi-day run. These are the guard rails under the figure harness —
+// if an experiment config breaks accounting, it fails here first.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/system.hpp"
+#include "core/testbed.hpp"
+
+namespace cloudfog::core {
+namespace {
+
+const Testbed& property_testbed() {
+  static const Testbed tb(TestbedConfig::peersim(800), 777);
+  return tb;
+}
+
+struct SystemCase {
+  std::string name;
+  Architecture architecture;
+  StrategyToggles strategies;
+  WorkloadMode workload;
+  std::size_t fixed_deployment;
+};
+
+class SystemInvariants : public ::testing::TestWithParam<SystemCase> {};
+
+void check_invariants(const System& sys) {
+  // 1. Supernode seat accounting: Σ served == fog-attached online players,
+  //    and no supernode exceeds its capacity or serves while undeployed.
+  std::size_t fog_players = 0;
+  std::size_t cdn_players = 0;
+  for (const auto& p : sys.players()) {
+    if (!p.online) {
+      ASSERT_FALSE(p.session.has_value());
+      continue;
+    }
+    ASSERT_TRUE(p.serving.attached());
+    ASSERT_TRUE(p.session.has_value());
+    switch (p.serving.kind) {
+      case ServingKind::kSupernode: {
+        ASSERT_LT(p.serving.index, sys.fleet().size());
+        const auto& sn = sys.fleet()[p.serving.index];
+        ASSERT_TRUE(sn.deployed);
+        ASSERT_FALSE(sn.failed);
+        ++fog_players;
+        break;
+      }
+      case ServingKind::kCdn:
+        ASSERT_LT(p.serving.index, sys.cdn_servers().size());
+        ++cdn_players;
+        break;
+      case ServingKind::kCloud:
+        ASSERT_LT(p.serving.index, sys.cloud().datacenter_count());
+        break;
+      case ServingKind::kNone:
+        FAIL() << "online player with no serving entity";
+    }
+    // 2. Sessions stream within the game's quality budget.
+    const auto& game = sys.players()[p.info.id].session->game_info();
+    ASSERT_LE(p.session->current_bitrate_kbps(),
+              property_testbed().catalog().ladder()
+                  .at_level(game.default_quality_level).bitrate_kbps + 1e-9);
+  }
+  std::size_t seats = 0;
+  for (const auto& sn : sys.fleet()) {
+    ASSERT_GE(sn.served, 0);
+    ASSERT_LE(sn.served, sn.capacity);
+    seats += static_cast<std::size_t>(sn.served);
+  }
+  ASSERT_EQ(seats, fog_players);
+  std::size_t cdn_seats = 0;
+  for (const auto& edge : sys.cdn_servers()) {
+    ASSERT_GE(edge.served, 0);
+    ASSERT_LE(edge.served, edge.capacity);
+    cdn_seats += static_cast<std::size_t>(edge.served);
+  }
+  ASSERT_EQ(cdn_seats, cdn_players);
+}
+
+TEST_P(SystemInvariants, HoldAtEverySubcycle) {
+  const SystemCase& c = GetParam();
+  SystemConfig cfg;
+  cfg.architecture = c.architecture;
+  cfg.strategies = c.strategies;
+  cfg.workload = c.workload;
+  cfg.fixed_deployment = c.fixed_deployment;
+  cfg.supernode_count =
+      std::min<std::size_t>(60, property_testbed().supernode_capable().size());
+  cfg.cdn_server_count = 30;
+  if (c.workload == WorkloadMode::kArrivalRates) {
+    cfg.arrivals = ArrivalWorkload{10.0, 40.0};
+  }
+  System sys(property_testbed(), cfg, 1234);
+
+  for (int day = 1; day <= 3; ++day) {
+    sys.begin_cycle(day);
+    for (int sub = 1; sub <= 24; ++sub) {
+      const auto qos = sys.run_subcycle(day, sub, day == 1, sub >= 20);
+      check_invariants(sys);
+      // 3. Aggregates stay on their scales.
+      ASSERT_GE(qos.avg_continuity, 0.0);
+      ASSERT_LE(qos.avg_continuity, 1.0);
+      ASSERT_GE(qos.satisfied_fraction, 0.0);
+      ASSERT_LE(qos.satisfied_fraction, 1.0);
+      ASSERT_GE(qos.avg_mos, 1.0);
+      ASSERT_LE(qos.avg_mos, 5.0);
+      ASSERT_GE(qos.cloud_egress_mbps, 0.0);
+      ASSERT_EQ(qos.online_sessions, qos.fog_served + qos.cloud_served + qos.cdn_served);
+      if (qos.online_sessions > 0) {
+        ASSERT_GT(qos.avg_response_latency_ms, 0.0);
+      }
+    }
+    // 4. Mid-run failure injection keeps accounting intact (fog arms).
+    if (c.architecture == Architecture::kCloudFog && day == 2) {
+      sys.inject_supernode_failures(5, day);
+      check_invariants(sys);
+      sys.recover_supernodes();
+    }
+    sys.end_cycle(day);
+    check_invariants(sys);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArms, SystemInvariants,
+    ::testing::Values(
+        SystemCase{"cloud_daily", Architecture::kCloudDirect, StrategyToggles::none(),
+                   WorkloadMode::kDailySessions, 0},
+        SystemCase{"cdn_daily", Architecture::kCdn, StrategyToggles::none(),
+                   WorkloadMode::kDailySessions, 0},
+        SystemCase{"fog_basic_daily", Architecture::kCloudFog, StrategyToggles::none(),
+                   WorkloadMode::kDailySessions, 0},
+        SystemCase{"fog_advanced_daily", Architecture::kCloudFog, StrategyToggles::all(),
+                   WorkloadMode::kDailySessions, 0},
+        SystemCase{"fog_advanced_arrivals", Architecture::kCloudFog,
+                   StrategyToggles::all(), WorkloadMode::kArrivalRates, 20},
+        SystemCase{"fog_basic_arrivals_fixed_pool", Architecture::kCloudFog,
+                   StrategyToggles::none(), WorkloadMode::kArrivalRates, 10}),
+    [](const ::testing::TestParamInfo<SystemCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cloudfog::core

@@ -1,0 +1,142 @@
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::core {
+namespace {
+
+TEST(Testbed, PeerSimProfileCounts) {
+  const Testbed tb(TestbedConfig::peersim(1000), 1);
+  EXPECT_EQ(tb.players().size(), 1000u);
+  EXPECT_EQ(tb.config().datacenter_count, 5u);
+  // ~10 % supernode-capable.
+  EXPECT_NEAR(static_cast<double>(tb.supernode_capable().size()), 100.0, 30.0);
+}
+
+TEST(Testbed, PlanetLabProfileCounts) {
+  const Testbed tb(TestbedConfig::planetlab(), 2);
+  EXPECT_EQ(tb.players().size(), 750u);
+  EXPECT_EQ(tb.config().datacenter_count, 2u);
+  EXPECT_NEAR(static_cast<double>(tb.supernode_capable().size()), 30.0, 15.0);
+}
+
+TEST(Testbed, PlayersHaveValidAttributes) {
+  const Testbed tb(TestbedConfig::peersim(500), 3);
+  for (const auto& p : tb.players()) {
+    EXPECT_GT(p.endpoint.access_latency_ms, 0.0);
+    EXPECT_GE(p.bandwidth.download_mbps, 1.5);
+    EXPECT_NEAR(p.bandwidth.upload_mbps, p.bandwidth.download_mbps / 3.0, 1e-9);
+  }
+}
+
+TEST(Testbed, DeterministicForSameSeed) {
+  const Testbed a(TestbedConfig::peersim(300), 7);
+  const Testbed b(TestbedConfig::peersim(300), 7);
+  for (std::size_t i = 0; i < a.players().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.players()[i].endpoint.position.x_km,
+                     b.players()[i].endpoint.position.x_km);
+    EXPECT_EQ(a.players()[i].supernode_capable, b.players()[i].supernode_capable);
+  }
+  EXPECT_EQ(a.social_graph().edges(), b.social_graph().edges());
+}
+
+TEST(Testbed, DifferentSeedsDiffer) {
+  const Testbed a(TestbedConfig::peersim(300), 7);
+  const Testbed b(TestbedConfig::peersim(300), 8);
+  int same = 0;
+  for (std::size_t i = 0; i < a.players().size(); ++i) {
+    if (a.players()[i].endpoint.position.x_km == b.players()[i].endpoint.position.x_km) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Testbed, FleetIsPrefixStable) {
+  const Testbed tb(TestbedConfig::peersim(2000), 4);
+  const auto small = tb.make_supernode_fleet(10);
+  const auto large = tb.make_supernode_fleet(20);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(small[i].owner_player, large[i].owner_player);
+    EXPECT_EQ(small[i].capacity, large[i].capacity);
+  }
+}
+
+TEST(Testbed, FleetOwnersAreCapablePlayers) {
+  const Testbed tb(TestbedConfig::peersim(2000), 5);
+  const auto fleet = tb.make_supernode_fleet(tb.supernode_capable().size());
+  for (const auto& sn : fleet) {
+    EXPECT_TRUE(tb.players()[sn.owner_player].supernode_capable);
+    EXPECT_GE(sn.capacity, 4);
+    EXPECT_LE(sn.capacity, 40);
+    // §3.1.1: uplink carries a full seat complement at the top bitrate.
+    EXPECT_GE(sn.upload_mbps, sn.capacity * 1.8 - 1e-9);
+    // Superior network connection: low access latency.
+    EXPECT_LE(sn.endpoint.access_latency_ms, 4.0);
+  }
+}
+
+TEST(Testbed, FleetLargerThanCapablePopulationThrows) {
+  const Testbed tb(TestbedConfig::peersim(200), 6);
+  EXPECT_THROW(tb.make_supernode_fleet(tb.supernode_capable().size() + 1),
+               ConfigError);
+}
+
+TEST(Testbed, ForcedCapacityApplies) {
+  TestbedConfig cfg = TestbedConfig::peersim(500);
+  cfg.forced_supernode_capacity = 15;
+  const Testbed tb(cfg, 7);
+  for (const auto& sn : tb.make_supernode_fleet(5)) {
+    EXPECT_EQ(sn.capacity, 15);
+  }
+}
+
+TEST(Testbed, DatacentersMatchRequestedCount) {
+  const Testbed tb(TestbedConfig::peersim(500), 8);
+  EXPECT_EQ(tb.make_datacenters().size(), 5u);
+  EXPECT_EQ(tb.make_datacenters(12).size(), 12u);
+  for (const auto& dc : tb.make_datacenters()) {
+    EXPECT_DOUBLE_EQ(dc.endpoint.access_latency_ms, 1.0);
+    EXPECT_GT(dc.uplink_mbps, 0.0);
+  }
+}
+
+TEST(Testbed, CdnServersRespectConfig) {
+  const Testbed tb(TestbedConfig::peersim(500), 9);
+  const auto cdn = tb.make_cdn_servers(45);
+  EXPECT_EQ(cdn.size(), 45u);
+  for (const auto& edge : cdn) {
+    EXPECT_DOUBLE_EQ(edge.uplink_mbps, tb.config().cdn_uplink_mbps);
+    EXPECT_EQ(edge.capacity, tb.config().cdn_capacity_players);
+  }
+}
+
+TEST(Testbed, CdnSaltChangesPlacement) {
+  const Testbed tb(TestbedConfig::peersim(500), 10);
+  const auto a = tb.make_cdn_servers(5, 0);
+  const auto b = tb.make_cdn_servers(5, 1);
+  EXPECT_NE(a[0].endpoint.position.x_km, b[0].endpoint.position.x_km);
+}
+
+TEST(SupernodeState, ThrottlingIsSilentToTheSeatTable) {
+  SupernodeState sn;
+  sn.capacity = 10;
+  sn.upload_mbps = 20.0;
+  sn.willingness = 0.5;
+  // Throttling halves the offered uplink but NOT the advertised seats —
+  // the degradation is what the reputation system must detect.
+  EXPECT_DOUBLE_EQ(sn.offered_upload_mbps(), 10.0);
+  sn.served = 9;
+  EXPECT_TRUE(sn.accepting());
+  sn.served = 10;
+  EXPECT_FALSE(sn.accepting());
+  sn.served = 0;
+  sn.failed = true;
+  EXPECT_FALSE(sn.accepting());
+  sn.failed = false;
+  sn.deployed = false;
+  EXPECT_FALSE(sn.accepting());
+}
+
+}  // namespace
+}  // namespace cloudfog::core

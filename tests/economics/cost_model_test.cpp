@@ -1,0 +1,68 @@
+#include "economics/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::economics {
+namespace {
+
+TEST(CostModel, HourlyElectricityMatchesPaper) {
+  // §4.4: 0.25 kW at 10.8 ¢/kWh → $0.027 per hour.
+  const CostModel model;
+  EXPECT_NEAR(model.running_cost_usd(1.0), 0.027, 1e-9);
+}
+
+TEST(CostModel, CostsAreTrivialComparedToRewards) {
+  // The paper's Fig. 16(a) takeaway.
+  const CostModel model;
+  for (double h : {4.0, 12.0, 24.0}) {
+    EXPECT_GT(model.reward_usd(h), 20.0 * model.running_cost_usd(h));
+  }
+}
+
+TEST(CostModel, ProfitIsRewardMinusCost) {
+  const CostModel model;
+  EXPECT_NEAR(model.contributor_profit_usd(10.0),
+              model.reward_usd(10.0) - model.running_cost_usd(10.0), 1e-12);
+  EXPECT_GT(model.contributor_profit_usd(8.0), 0.0);
+}
+
+TEST(CostModel, Ec2RentLinearInHours) {
+  const CostModel model;
+  EXPECT_NEAR(model.ec2_renting_fee_usd(100.0), 260.0, 1e-9);
+}
+
+TEST(CostModel, ProviderSavesVersusRenting) {
+  // Fig. 16(b): rewarding a supernode is cheaper than renting a GPU
+  // instance, so savings are positive and grow with hours.
+  const CostModel model;
+  double prev = 0.0;
+  for (double h : {100.0, 400.0, 800.0}) {
+    const double saving = model.provider_saving_vs_ec2_usd(h);
+    EXPECT_GT(saving, prev);
+    prev = saving;
+  }
+}
+
+TEST(CostModel, AnnualFleetRewardScale) {
+  // §4.4: 300 supernodes, 24 h/day, a year — single-digit millions,
+  // versus ~$400 M to build a datacenter.
+  const CostModel model;
+  const double annual = model.annual_fleet_reward_usd(300, 24.0);
+  EXPECT_GT(annual, 1e6);
+  EXPECT_LT(annual, model.config().datacenter_build_usd / 10.0);
+}
+
+TEST(CostModel, Validation) {
+  const CostModel model;
+  EXPECT_THROW(model.running_cost_usd(-1.0), cloudfog::ConfigError);
+  EXPECT_THROW(model.annual_fleet_reward_usd(-1, 8.0), cloudfog::ConfigError);
+  EXPECT_THROW(model.annual_fleet_reward_usd(10, 25.0), cloudfog::ConfigError);
+  CostModelConfig cfg;
+  cfg.supernode_power_kw = 0.0;
+  EXPECT_THROW(CostModel{cfg}, cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::economics

@@ -1,0 +1,109 @@
+#include "game/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cloudfog::game {
+namespace {
+
+WorkloadGenerator make_generator(std::uint64_t seed = 1) {
+  return WorkloadGenerator(WorkloadConfig{}, util::Rng(seed));
+}
+
+TEST(Workload, PeakExceedsOffPeak) {
+  auto gen = make_generator();
+  const double peak = gen.expected_players(1, 22);
+  const double trough = gen.expected_players(1, 10);
+  EXPECT_GT(peak, trough * 1.5);
+}
+
+TEST(Workload, PeakCentredInPeakWindow) {
+  auto gen = make_generator();
+  double best = 0.0;
+  int best_sub = 0;
+  for (int sub = 1; sub <= 24; ++sub) {
+    const double v = gen.expected_players(1, sub);
+    if (v > best) {
+      best = v;
+      best_sub = sub;
+    }
+  }
+  EXPECT_GE(best_sub, 20);
+  EXPECT_LE(best_sub, 24);
+}
+
+TEST(Workload, WeekendBoostApplies) {
+  auto gen = make_generator();
+  // Day 6 is a Saturday (day 1 = Monday).
+  EXPECT_NEAR(gen.expected_players(6, 22) / gen.expected_players(1, 22),
+              WorkloadConfig{}.weekend_boost, 1e-9);
+}
+
+TEST(Workload, WeeklySeasonalityExact) {
+  auto gen = make_generator();
+  // The noise-free expectation repeats exactly week over week.
+  EXPECT_DOUBLE_EQ(gen.expected_players(3, 15), gen.expected_players(10, 15));
+}
+
+TEST(Workload, NoisyRealizationWithinBound) {
+  auto gen = make_generator();
+  for (int day = 1; day <= 14; ++day) {
+    for (int sub = 1; sub <= 24; ++sub) {
+      const double expected = gen.expected_players(day, sub);
+      const double actual = gen.players(day, sub);
+      EXPECT_LE(std::abs(actual - expected) / expected,
+                WorkloadConfig{}.weekly_noise + 1e-12);
+    }
+  }
+}
+
+TEST(Workload, RepeatedQueriesAgree) {
+  auto gen = make_generator();
+  const double first = gen.players(2, 21);
+  const double second = gen.players(2, 21);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(Workload, WeekToWeekVariationUnderTenPercent) {
+  // §3.5: "week-to-week load variations of players are less than 10 %".
+  auto gen = make_generator();
+  for (int sub = 1; sub <= 24; ++sub) {
+    const double w1 = gen.players(1, sub);
+    const double w2 = gen.players(8, sub);
+    EXPECT_LT(std::abs(w2 - w1) / w1, 0.2);  // two ±8 % draws
+  }
+}
+
+TEST(Workload, SeriesHasOneValuePerSubcycle) {
+  auto gen = make_generator();
+  const auto series = gen.series(3);
+  EXPECT_EQ(series.size(), 72u);
+  for (double v : series) EXPECT_GT(v, 0.0);
+}
+
+TEST(Workload, DeterministicAcrossInstances) {
+  auto g1 = make_generator(7);
+  auto g2 = make_generator(7);
+  EXPECT_EQ(g1.series(5), g2.series(5));
+}
+
+TEST(Workload, RejectsBadConfig) {
+  WorkloadConfig cfg;
+  cfg.peak_players = cfg.base_players - 1;
+  EXPECT_THROW(WorkloadGenerator(cfg, util::Rng(1)), cloudfog::ConfigError);
+  cfg = WorkloadConfig{};
+  cfg.weekly_noise = 1.0;
+  EXPECT_THROW(WorkloadGenerator(cfg, util::Rng(1)), cloudfog::ConfigError);
+}
+
+TEST(Workload, QueryValidation) {
+  auto gen = make_generator();
+  EXPECT_THROW(gen.expected_players(0, 1), cloudfog::ConfigError);
+  EXPECT_THROW(gen.expected_players(1, 25), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::game

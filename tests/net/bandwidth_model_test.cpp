@@ -1,0 +1,70 @@
+#include "net/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace cloudfog::net {
+namespace {
+
+TEST(BandwidthModel, UploadIsOneThirdOfDownload) {
+  const BandwidthModel model;
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeBandwidth bw = model.sample_node_bandwidth(rng);
+    EXPECT_NEAR(bw.upload_mbps, bw.download_mbps / 3.0, 1e-9);
+  }
+}
+
+TEST(BandwidthModel, DownloadsComeFromBroadbandTiers) {
+  const BandwidthModel model;
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double down = model.sample_node_bandwidth(rng).download_mbps;
+    EXPECT_GE(down, 1.5);
+    EXPECT_LE(down, 50.0);
+  }
+}
+
+TEST(BandwidthModel, MeanDownloadMatchesTierWeights) {
+  const BandwidthModel model;
+  util::Rng rng(3);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(model.sample_node_bandwidth(rng).download_mbps);
+  }
+  EXPECT_NEAR(stats.mean(), model.mean_download_mbps(), 0.2);
+}
+
+TEST(BandwidthModel, SupernodeCapacityWithinParetoBounds) {
+  const BandwidthModel model;
+  util::Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const int cap = model.sample_supernode_capacity(rng);
+    ASSERT_GE(cap, 4);
+    ASSERT_LE(cap, 40);
+  }
+}
+
+TEST(BandwidthModel, SupernodeCapacityIsHeavyTailedDown) {
+  const BandwidthModel model;
+  util::Rng rng(5);
+  int small = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample_supernode_capacity(rng) <= 8) ++small;
+  }
+  EXPECT_GT(small, n / 2);  // Pareto α=2 puts most mass near the bottom
+}
+
+TEST(BandwidthModel, CustomUploadDivisor) {
+  BandwidthModelConfig cfg;
+  cfg.upload_divisor = 2.0;
+  const BandwidthModel model(cfg);
+  util::Rng rng(6);
+  const NodeBandwidth bw = model.sample_node_bandwidth(rng);
+  EXPECT_NEAR(bw.upload_mbps, bw.download_mbps / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

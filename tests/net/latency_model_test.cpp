@@ -1,0 +1,108 @@
+#include "net/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::net {
+namespace {
+
+Endpoint ep(double x, double y, double access = 5.0) {
+  return Endpoint{GeoPoint{x, y}, access};
+}
+
+TEST(LatencyModel, OneWayIsSymmetric) {
+  const LatencyModel model({});
+  const Endpoint a = ep(0, 0, 3.0);
+  const Endpoint b = ep(1000, 500, 8.0);
+  EXPECT_DOUBLE_EQ(model.one_way_ms(a, b), model.one_way_ms(b, a));
+}
+
+TEST(LatencyModel, RttIsTwiceOneWay) {
+  const LatencyModel model({});
+  const Endpoint a = ep(0, 0);
+  const Endpoint b = ep(500, 0);
+  EXPECT_DOUBLE_EQ(model.rtt_ms(a, b), 2.0 * model.one_way_ms(a, b));
+}
+
+TEST(LatencyModel, ColocatedPairPaysAccessAndOverheadOnly) {
+  LatencyModelConfig cfg;
+  const LatencyModel model(cfg);
+  const Endpoint a = ep(100, 100, 3.0);
+  const Endpoint b = ep(100, 100, 7.0);
+  EXPECT_DOUBLE_EQ(model.one_way_ms(a, b), 3.0 + 7.0 + cfg.hop_overhead_ms);
+}
+
+TEST(LatencyModel, LatencyGrowsWithDistance) {
+  const LatencyModel model({});
+  const Endpoint a = ep(0, 0);
+  double prev = 0.0;
+  for (double x : {100.0, 500.0, 1000.0, 3000.0}) {
+    const double lat = model.one_way_ms(a, ep(x, 0));
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(LatencyModel, PropagationTermMatchesConfig) {
+  LatencyModelConfig cfg;
+  cfg.propagation_ms_per_km = 0.005;
+  cfg.route_inflation = 2.0;
+  cfg.hop_overhead_ms = 0.0;
+  const LatencyModel model(cfg);
+  const Endpoint a = ep(0, 0, 0.001);
+  const Endpoint b = ep(1000, 0, 0.001);
+  // 1000 km * 2.0 inflation * 0.005 ms/km = 10 ms + 0.002 access.
+  EXPECT_NEAR(model.one_way_ms(a, b), 10.002, 1e-9);
+}
+
+TEST(LatencyModel, WanThroughputDecaysWithRtt) {
+  const LatencyModel model({});
+  const double fast = model.wan_throughput_mbps(20.0);
+  const double slow = model.wan_throughput_mbps(200.0);
+  EXPECT_GT(fast, slow);
+  EXPECT_NEAR(fast / slow, 10.0, 1e-6);  // inverse proportionality
+}
+
+TEST(LatencyModel, WanThroughputCapped) {
+  LatencyModelConfig cfg;
+  cfg.max_flow_mbps = 50.0;
+  const LatencyModel model(cfg);
+  EXPECT_DOUBLE_EQ(model.wan_throughput_mbps(0.1), 50.0);
+}
+
+TEST(LatencyModel, WanThroughputKnownPoint) {
+  LatencyModelConfig cfg;
+  cfg.tcp_throughput_mbit_s = 0.12;
+  const LatencyModel model(cfg);
+  // At 100 ms RTT: 0.12 / 0.1 = 1.2 Mbps — below a 1.8 Mbps top-rung
+  // stream, the effect the whole paper leans on.
+  EXPECT_NEAR(model.wan_throughput_mbps(100.0), 1.2, 1e-9);
+}
+
+TEST(LatencyModel, EndpointFactories) {
+  const PingTrace trace(TraceProfile::kLeagueOfLegends);
+  util::Rng rng(1);
+  const Endpoint player = make_endpoint(GeoPoint{10, 20}, trace, rng);
+  EXPECT_GT(player.access_latency_ms, 0.0);
+  const Endpoint infra = make_infrastructure_endpoint(GeoPoint{30, 40});
+  EXPECT_DOUBLE_EQ(infra.access_latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(infra.position.x_km, 30.0);
+}
+
+TEST(LatencyModel, RejectsBadConfig) {
+  LatencyModelConfig cfg;
+  cfg.route_inflation = 0.5;
+  EXPECT_THROW(LatencyModel{cfg}, cloudfog::ConfigError);
+  cfg = LatencyModelConfig{};
+  cfg.propagation_ms_per_km = 0.0;
+  EXPECT_THROW(LatencyModel{cfg}, cloudfog::ConfigError);
+}
+
+TEST(LatencyModel, WanThroughputRejectsNonPositiveRtt) {
+  const LatencyModel model({});
+  EXPECT_THROW(model.wan_throughput_mbps(0.0), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

@@ -1,0 +1,67 @@
+#include "net/ping_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace cloudfog::net {
+namespace {
+
+TEST(PingTrace, AccessLatencyPositiveAndBounded) {
+  const PingTrace trace(TraceProfile::kLeagueOfLegends);
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double ms = trace.sample_access_latency_ms(rng);
+    ASSERT_GT(ms, 0.0);
+    ASSERT_LT(ms, 500.0);  // sanity tail bound
+  }
+}
+
+TEST(PingTrace, AccessMedianInLastMileRange) {
+  const PingTrace trace(TraceProfile::kLeagueOfLegends);
+  util::Rng rng(2);
+  util::SampleSet samples;
+  for (int i = 0; i < 50000; ++i) samples.add(trace.sample_access_latency_ms(rng));
+  EXPECT_GT(samples.median(), 4.0);
+  EXPECT_LT(samples.median(), 15.0);
+}
+
+TEST(PingTrace, RttsCoverTheLolHistogramRange) {
+  const PingTrace trace(TraceProfile::kLeagueOfLegends);
+  util::Rng rng(3);
+  util::SampleSet samples;
+  for (int i = 0; i < 50000; ++i) samples.add(trace.sample_rtt_ms(rng));
+  // The published histogram: bulk between 20 and 150 ms with a tail.
+  EXPECT_GT(samples.median(), 30.0);
+  EXPECT_LT(samples.median(), 110.0);
+  EXPECT_GT(samples.percentile(0.95), 120.0);
+}
+
+TEST(PingTrace, PlanetLabHasHeavierTail) {
+  const PingTrace lol(TraceProfile::kLeagueOfLegends);
+  const PingTrace pl(TraceProfile::kPlanetLab);
+  util::Rng r1(4);
+  util::Rng r2(4);
+  util::SampleSet s_lol;
+  util::SampleSet s_pl;
+  for (int i = 0; i < 50000; ++i) {
+    s_lol.add(lol.sample_rtt_ms(r1));
+    s_pl.add(pl.sample_rtt_ms(r2));
+  }
+  EXPECT_GT(s_pl.percentile(0.9), s_lol.percentile(0.9));
+  EXPECT_GT(pl.base_jitter_ms(), lol.base_jitter_ms());
+}
+
+TEST(PingTrace, FractionWithinIsMonotone) {
+  const PingTrace trace(TraceProfile::kLeagueOfLegends);
+  util::Rng rng(5);
+  const double at50 = trace.rtt_fraction_within(50.0, rng);
+  const double at100 = trace.rtt_fraction_within(100.0, rng);
+  const double at300 = trace.rtt_fraction_within(300.0, rng);
+  EXPECT_LE(at50, at100);
+  EXPECT_LE(at100, at300);
+  EXPECT_GT(at300, 0.8);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

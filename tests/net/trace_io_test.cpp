@@ -1,0 +1,90 @@
+#include "net/trace_io.hpp"
+
+#include "net/ping_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace cloudfog::net {
+namespace {
+
+TEST(TraceIo, ParsesSimpleHistogram) {
+  std::istringstream in("10 5\n20 10\n30 5\n");
+  const auto dist = load_latency_histogram(in);
+  EXPECT_DOUBLE_EQ(dist.mean(), (10.0 * 5 + 20.0 * 10 + 30.0 * 5) / 20.0);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n10 5\n  # another\n20 5 # inline\n");
+  const auto dist = load_latency_histogram(in);
+  EXPECT_DOUBLE_EQ(dist.mean(), 15.0);
+}
+
+TEST(TraceIo, SamplingFollowsWeights) {
+  std::istringstream in("10 1\n90 3\n");
+  const auto dist = load_latency_histogram(in);
+  util::Rng rng(1);
+  int high = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.sample(rng) == 90.0) ++high;
+  }
+  EXPECT_NEAR(high / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  std::istringstream missing_count("10\n");
+  EXPECT_THROW(load_latency_histogram(missing_count), cloudfog::ConfigError);
+  std::istringstream trailing("10 5 extra\n");
+  EXPECT_THROW(load_latency_histogram(trailing), cloudfog::ConfigError);
+  std::istringstream negative("-5 3\n");
+  EXPECT_THROW(load_latency_histogram(negative), cloudfog::ConfigError);
+  std::istringstream zero_count("10 0\n");
+  EXPECT_THROW(load_latency_histogram(zero_count), cloudfog::ConfigError);
+  std::istringstream empty("# only comments\n");
+  EXPECT_THROW(load_latency_histogram(empty), cloudfog::ConfigError);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_latency_histogram_file("/nonexistent/trace.txt"),
+               cloudfog::ConfigError);
+}
+
+TEST(TraceIo, RoundTripsThroughSave) {
+  const std::vector<util::EmpiricalDistribution::Bin> bins{{10.0, 2.0}, {50.5, 7.0}};
+  std::ostringstream out;
+  save_latency_histogram(out, bins);
+  std::istringstream in(out.str());
+  const auto dist = load_latency_histogram(in);
+  EXPECT_DOUBLE_EQ(dist.mean(), (10.0 * 2 + 50.5 * 7) / 9.0);
+}
+
+TEST(TraceIo, LoadedHistogramDrivesPingTrace) {
+  std::istringstream in("40 1\n");  // degenerate: every RTT is 40 ms
+  PingTrace trace(load_latency_histogram(in), TraceProfile::kLeagueOfLegends);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(trace.sample_rtt_ms(rng), 40.0);
+  }
+  // Access latencies still come from the base profile.
+  EXPECT_GT(trace.sample_access_latency_ms(rng), 0.0);
+}
+
+TEST(TraceIo, ShippedLolHistogramLoadsAndLooksRight) {
+  const auto dist = load_latency_histogram_file(std::string(CLOUDFOG_DATA_DIR) +
+                                                "/lol_ping_histogram.txt");
+  // The published shape: median in the 50–90 ms band, visible tail.
+  util::Rng rng(2);
+  util::SampleSet samples;
+  for (int i = 0; i < 20000; ++i) samples.add(dist.sample(rng));
+  EXPECT_GT(samples.median(), 40.0);
+  EXPECT_LT(samples.median(), 95.0);
+  EXPECT_GT(samples.percentile(0.95), 140.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

@@ -1,0 +1,113 @@
+#include "reputation/reputation_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cloudfog::reputation {
+namespace {
+
+TEST(ReputationStore, UnknownSupernodeScoresZero) {
+  const ReputationStore store;
+  EXPECT_DOUBLE_EQ(store.score(7, 10), 0.0);
+}
+
+TEST(ReputationStore, SingleRatingScoresItsValue) {
+  ReputationStore store(0.9);
+  store.add_rating(1, 0.8, /*day=*/3);
+  // Weighted average of one rating is the rating, regardless of age.
+  EXPECT_DOUBLE_EQ(store.score(1, 3), 0.8);
+  EXPECT_DOUBLE_EQ(store.score(1, 30), 0.8);
+}
+
+TEST(ReputationStore, Eq7WeightedAverage) {
+  const double lambda = 0.5;
+  ReputationStore store(lambda);
+  store.add_rating(2, 1.0, /*day=*/1);
+  store.add_rating(2, 0.0, /*day=*/3);
+  // On day 3: ages 2 and 0 → weights 0.25 and 1.0.
+  // s = (1.0*0.25 + 0.0*1.0) / 1.25 = 0.2.
+  EXPECT_NEAR(store.score(2, 3), 0.2, 1e-12);
+}
+
+TEST(ReputationStore, RecentRatingsDominate) {
+  ReputationStore store(0.5);
+  store.add_rating(3, 0.1, 1);   // old, bad
+  store.add_rating(3, 0.9, 10);  // fresh, good
+  EXPECT_GT(store.score(3, 10), 0.85);
+}
+
+TEST(ReputationStore, ScoreDriftsAsRatingsAgeTogether) {
+  ReputationStore store(0.5);
+  store.add_rating(4, 1.0, 1);
+  store.add_rating(4, 0.0, 5);
+  const double early = store.score(4, 5);
+  const double late = store.score(4, 50);
+  // Relative weights stay fixed once both ratings age equally — the
+  // weighted average is invariant under common scaling.
+  EXPECT_NEAR(early, late, 1e-9);
+}
+
+TEST(ReputationStore, EvictionKeepsNewest) {
+  ReputationStore store(0.9, /*max_ratings=*/3);
+  for (int day = 1; day <= 5; ++day) {
+    store.add_rating(5, day == 1 ? 0.0 : 1.0, day);
+  }
+  EXPECT_EQ(store.rating_count(5), 3u);
+  // The day-1 zero rating was evicted first.
+  EXPECT_DOUBLE_EQ(store.score(5, 5), 1.0);
+}
+
+TEST(ReputationStore, SupernodesAreIndependent) {
+  ReputationStore store;
+  store.add_rating(1, 0.9, 1);
+  store.add_rating(2, 0.1, 1);
+  EXPECT_GT(store.score(1, 1), store.score(2, 1));
+}
+
+TEST(ReputationStore, RatedSupernodesEnumerated) {
+  ReputationStore store;
+  store.add_rating(9, 0.5, 1);
+  store.add_rating(3, 0.5, 1);
+  const auto rated = store.rated_supernodes();
+  EXPECT_EQ(rated, (std::vector<SupernodeId>{3, 9}));
+}
+
+TEST(ReputationStore, PruneDropsDecayedRatings) {
+  ReputationStore store(0.5);
+  store.add_rating(6, 0.7, 1);
+  store.prune(/*current_day=*/40, /*min_weight=*/1e-4);
+  // 0.5^39 is far below 1e-4.
+  EXPECT_EQ(store.rating_count(6), 0u);
+  EXPECT_DOUBLE_EQ(store.score(6, 40), 0.0);
+}
+
+TEST(ReputationStore, PruneKeepsFreshRatings) {
+  ReputationStore store(0.9);
+  store.add_rating(6, 0.7, 10);
+  store.prune(11);
+  EXPECT_EQ(store.rating_count(6), 1u);
+}
+
+TEST(ReputationStore, SybilResistanceByConstruction) {
+  // A player's score of a supernode never changes because some other
+  // store (another player, or forged identities) rated it: scores are
+  // computed purely from this store's own ratings.
+  ReputationStore victim;
+  ReputationStore attacker;
+  for (int i = 0; i < 100; ++i) attacker.add_rating(8, 1.0, 1);
+  EXPECT_DOUBLE_EQ(victim.score(8, 1), 0.0);
+}
+
+TEST(ReputationStore, Validation) {
+  EXPECT_THROW(ReputationStore(0.0), cloudfog::ConfigError);
+  EXPECT_THROW(ReputationStore(1.0), cloudfog::ConfigError);
+  ReputationStore store;
+  EXPECT_THROW(store.add_rating(1, 1.5, 1), cloudfog::ConfigError);
+  EXPECT_THROW(store.add_rating(1, 0.5, 0), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::reputation

@@ -1,0 +1,97 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::sim {
+namespace {
+
+TEST(ArrivalProcess, GeneratesApproximatelyRateArrivals) {
+  Simulator sim;
+  int arrivals = 0;
+  ArrivalProcess proc(sim, util::Rng(1), /*rate=*/5.0, [&](SimTime) { ++arrivals; });
+  sim.run_until(1000.0);
+  // 5/s over 1000 s: Poisson(5000), std ≈ 71.
+  EXPECT_NEAR(arrivals, 5000, 300);
+  EXPECT_EQ(proc.arrivals(), static_cast<std::size_t>(arrivals));
+}
+
+TEST(ArrivalProcess, ZeroRateIsPaused) {
+  Simulator sim;
+  int arrivals = 0;
+  ArrivalProcess proc(sim, util::Rng(2), 0.0, [&](SimTime) { ++arrivals; });
+  sim.run_until(100.0);
+  EXPECT_EQ(arrivals, 0);
+}
+
+TEST(ArrivalProcess, SetRateResumesFromPause) {
+  Simulator sim;
+  int arrivals = 0;
+  ArrivalProcess proc(sim, util::Rng(3), 0.0, [&](SimTime) { ++arrivals; });
+  sim.run_until(100.0);
+  proc.set_rate(10.0);
+  sim.run_until(200.0);
+  EXPECT_NEAR(arrivals, 1000, 150);
+}
+
+TEST(ArrivalProcess, RateChangeTakesEffect) {
+  Simulator sim;
+  int before = 0;
+  int after = 0;
+  bool boosted = false;
+  ArrivalProcess proc(sim, util::Rng(4), 1.0, [&](SimTime) { (boosted ? after : before)++; });
+  sim.run_until(100.0);
+  boosted = true;
+  proc.set_rate(20.0);
+  sim.run_until(200.0);
+  EXPECT_NEAR(before, 100, 40);
+  EXPECT_NEAR(after, 2000, 250);
+}
+
+TEST(ArrivalProcess, StopHaltsArrivals) {
+  Simulator sim;
+  int arrivals = 0;
+  ArrivalProcess proc(sim, util::Rng(5), 10.0, [&](SimTime) { ++arrivals; });
+  sim.run_until(10.0);
+  proc.stop();
+  const int at_stop = arrivals;
+  sim.run_until(100.0);
+  EXPECT_EQ(arrivals, at_stop);
+}
+
+TEST(ArrivalProcess, ArrivalTimesAreOrdered) {
+  Simulator sim;
+  SimTime last = -1.0;
+  ArrivalProcess proc(sim, util::Rng(6), 5.0, [&](SimTime t) {
+    EXPECT_GT(t, last);
+    last = t;
+  });
+  sim.run_until(50.0);
+  EXPECT_GT(proc.arrivals(), 0u);
+}
+
+TEST(ArrivalProcess, InterArrivalGapsAreExponential) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  ArrivalProcess proc(sim, util::Rng(7), 2.0, [&](SimTime t) { times.push_back(t); });
+  sim.run_until(5000.0);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) acc += times[i] - times[i - 1];
+  const double mean_gap = acc / static_cast<double>(times.size() - 1);
+  EXPECT_NEAR(mean_gap, 0.5, 0.05);
+}
+
+TEST(ArrivalProcess, RejectsNegativeRate) {
+  Simulator sim;
+  EXPECT_THROW(ArrivalProcess(sim, util::Rng(8), -1.0, [](SimTime) {}),
+               cloudfog::ConfigError);
+}
+
+TEST(PerMinuteHelper, Converts) {
+  EXPECT_DOUBLE_EQ(per_minute(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(per_minute(30.0), 0.5);
+}
+
+}  // namespace
+}  // namespace cloudfog::sim

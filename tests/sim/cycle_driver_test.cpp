@@ -1,0 +1,119 @@
+#include "sim/cycle_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cloudfog::sim {
+namespace {
+
+CycleConfig small_config() {
+  CycleConfig cfg;
+  cfg.total_cycles = 3;
+  cfg.warmup_cycles = 1;
+  cfg.subcycles_per_cycle = 4;
+  cfg.subcycle_seconds = 10.0;
+  cfg.peak_start_subcycle = 3;
+  cfg.peak_end_subcycle = 4;
+  return cfg;
+}
+
+TEST(CycleDriver, VisitsEverySubcycleInOrder) {
+  Simulator sim;
+  CycleDriver driver(sim, small_config());
+  std::vector<std::pair<int, int>> visited;
+  driver.on_subcycle([&](const CyclePoint& p) { visited.emplace_back(p.cycle, p.subcycle); });
+  driver.run();
+  ASSERT_EQ(visited.size(), 12u);
+  EXPECT_EQ(visited.front(), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(visited[4], (std::pair<int, int>{2, 1}));
+  EXPECT_EQ(visited.back(), (std::pair<int, int>{3, 4}));
+}
+
+TEST(CycleDriver, WarmupFlagFollowsConfig) {
+  Simulator sim;
+  CycleDriver driver(sim, small_config());
+  std::vector<bool> warm;
+  driver.on_subcycle([&](const CyclePoint& p) { warm.push_back(p.warmup); });
+  driver.run();
+  EXPECT_TRUE(warm[0]);
+  EXPECT_TRUE(warm[3]);
+  EXPECT_FALSE(warm[4]);   // cycle 2
+  EXPECT_FALSE(warm[11]);  // cycle 3
+}
+
+TEST(CycleDriver, PeakFlagMatchesWindow) {
+  Simulator sim;
+  CycleDriver driver(sim, small_config());
+  std::vector<bool> peak;
+  driver.on_subcycle([&](const CyclePoint& p) { peak.push_back(p.peak); });
+  driver.run();
+  EXPECT_FALSE(peak[0]);
+  EXPECT_FALSE(peak[1]);
+  EXPECT_TRUE(peak[2]);
+  EXPECT_TRUE(peak[3]);
+}
+
+TEST(CycleDriver, ClockAdvancesOneSubcycleAtATime) {
+  Simulator sim;
+  CycleDriver driver(sim, small_config());
+  std::vector<double> starts;
+  driver.on_subcycle([&](const CyclePoint& p) { starts.push_back(p.start_time); });
+  driver.run();
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(starts[i], 10.0 * static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(sim.now(), 120.0);
+}
+
+TEST(CycleDriver, EventsInsideSubcycleRun) {
+  Simulator sim;
+  CycleDriver driver(sim, small_config());
+  int events = 0;
+  driver.on_subcycle([&](const CyclePoint&) { sim.schedule_in(5.0, [&] { ++events; }); });
+  driver.run();
+  EXPECT_EQ(events, 12);
+}
+
+TEST(CycleDriver, CycleEndHookFiresPerCycle) {
+  Simulator sim;
+  CycleDriver driver(sim, small_config());
+  std::vector<std::pair<int, bool>> ends;
+  driver.on_cycle_end([&](int cycle, bool warmup) { ends.emplace_back(cycle, warmup); });
+  driver.run();
+  ASSERT_EQ(ends.size(), 3u);
+  EXPECT_EQ(ends[0], (std::pair<int, bool>{1, true}));
+  EXPECT_EQ(ends[2], (std::pair<int, bool>{3, false}));
+}
+
+TEST(CycleDriver, GlobalSubcycleIndex) {
+  const CycleConfig cfg = small_config();
+  CyclePoint p;
+  p.cycle = 2;
+  p.subcycle = 3;
+  EXPECT_EQ(p.global_subcycle(cfg), 6);
+}
+
+TEST(CycleDriver, PaperDefaultsAreValid) {
+  Simulator sim;
+  const CycleConfig cfg;  // 28 cycles, 24 subcycles, peak 20-24
+  CycleDriver driver(sim, cfg);
+  EXPECT_FALSE(driver.is_peak_subcycle(19));
+  EXPECT_TRUE(driver.is_peak_subcycle(20));
+  EXPECT_TRUE(driver.is_peak_subcycle(24));
+}
+
+TEST(CycleDriver, RejectsBadConfig) {
+  Simulator sim;
+  CycleConfig cfg = small_config();
+  cfg.warmup_cycles = 3;  // no measured cycles left
+  EXPECT_THROW(CycleDriver(sim, cfg), cloudfog::ConfigError);
+  cfg = small_config();
+  cfg.peak_start_subcycle = 5;
+  EXPECT_THROW(CycleDriver(sim, cfg), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::sim

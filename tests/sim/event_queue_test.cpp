@@ -1,0 +1,99 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cloudfog::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReportsTime) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  const auto ev = q.pop();
+  EXPECT_DOUBLE_EQ(ev.time, 4.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, CancelledEntriesSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId dead = q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  q.cancel(dead);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RejectsNegativeTimeAndNullCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), cloudfog::ConfigError);
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Callback{}), cloudfog::ConfigError);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), cloudfog::ConfigError);
+  EXPECT_THROW(q.next_time(), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::sim

@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cloudfog::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.schedule_in(2.0, [&] { seen.push_back(sim.now()); });
+  sim.schedule_in(5.0, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(3.0, [&] { ++fired; });
+  const std::size_t executed = sim.run_until(2.0);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // clock advances to the window end
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(2.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(1.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+}
+
+TEST(Simulator, CancelWorksThroughSimulator) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_in(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, ScheduleAtRejectsPast) {
+  Simulator sim;
+  sim.schedule_in(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), cloudfog::ConfigError);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task(sim, 1.0, 2.0, [&](SimTime t) { times.push_back(t); });
+  sim.run_until(7.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(PeriodicTask, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 0.0, 1.0, [&](SimTime) { ++count; });
+  sim.run_until(2.5);
+  task.stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);  // t = 0, 1, 2
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopFromInsideBody) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask* handle = nullptr;
+  PeriodicTask task(sim, 0.0, 1.0, [&](SimTime) {
+    if (++count == 2) handle->stop();
+  });
+  handle = &task;
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, RejectsBadPeriod) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, 0.0, 0.0, [](SimTime) {}), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::sim

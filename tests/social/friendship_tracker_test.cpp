@@ -1,0 +1,86 @@
+#include "social/friendship_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::social {
+namespace {
+
+TEST(FriendshipTracker, CountsCoplays) {
+  FriendshipTracker t(10, /*threshold=*/2);
+  t.record_coplay(1, 2, 1);
+  t.record_coplay(2, 1, 1);  // order-insensitive
+  t.record_coplay(1, 2, 2);
+  EXPECT_EQ(t.coplay_count(1, 2), 3);
+  EXPECT_EQ(t.coplay_count(2, 1), 3);
+}
+
+TEST(FriendshipTracker, ThresholdIsStrict) {
+  FriendshipTracker t(10, /*threshold=*/3);
+  for (int i = 0; i < 3; ++i) t.record_coplay(0, 1, 1);
+  EXPECT_FALSE(t.implicit_friends(0, 1));  // CP must EXCEED υ
+  t.record_coplay(0, 1, 2);
+  EXPECT_TRUE(t.implicit_friends(0, 1));
+}
+
+TEST(FriendshipTracker, SelfPlayIgnored) {
+  FriendshipTracker t(10);
+  t.record_coplay(3, 3, 1);
+  EXPECT_EQ(t.coplay_count(3, 3), 0);
+}
+
+TEST(FriendshipTracker, ExpiryDropsOldDays) {
+  FriendshipTracker t(10, /*threshold=*/0, /*window_days=*/7);
+  t.record_coplay(0, 1, 1);
+  t.record_coplay(0, 1, 5);
+  t.expire(8);  // keeps days >= 2
+  EXPECT_EQ(t.coplay_count(0, 1), 1);
+  t.expire(30);
+  EXPECT_EQ(t.coplay_count(0, 1), 0);
+}
+
+TEST(FriendshipTracker, ImplicitPairsEnumerated) {
+  FriendshipTracker t(10, /*threshold=*/1);
+  t.record_coplay(0, 1, 1);
+  t.record_coplay(0, 1, 2);
+  t.record_coplay(2, 3, 1);  // only once — below threshold
+  const auto pairs = t.implicit_friend_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<PlayerId, PlayerId>{0, 1}));
+}
+
+TEST(FriendshipTracker, MergedWithAddsImplicitEdges) {
+  SocialGraph base(5);
+  base.add_friendship(0, 4);
+  FriendshipTracker t(5, /*threshold=*/0);
+  t.record_coplay(1, 2, 1);
+  const SocialGraph merged = t.merged_with(base);
+  EXPECT_TRUE(merged.are_friends(0, 4));  // explicit preserved
+  EXPECT_TRUE(merged.are_friends(1, 2));  // implicit added
+  EXPECT_EQ(merged.edge_count(), 2u);
+}
+
+TEST(FriendshipTracker, MergedWithDeduplicates) {
+  SocialGraph base(5);
+  base.add_friendship(1, 2);
+  FriendshipTracker t(5, /*threshold=*/0);
+  t.record_coplay(1, 2, 1);  // same pair implicitly
+  const SocialGraph merged = t.merged_with(base);
+  EXPECT_EQ(merged.edge_count(), 1u);
+}
+
+TEST(FriendshipTracker, SizeMismatchThrows) {
+  const SocialGraph base(4);
+  const FriendshipTracker t(5);
+  EXPECT_THROW(t.merged_with(base), cloudfog::ConfigError);
+}
+
+TEST(FriendshipTracker, OutOfRangeThrows) {
+  FriendshipTracker t(3);
+  EXPECT_THROW(t.record_coplay(0, 3, 1), cloudfog::ConfigError);
+  EXPECT_THROW(t.record_coplay(0, 1, 0), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::social

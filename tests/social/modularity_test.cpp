@@ -1,0 +1,128 @@
+#include "social/modularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "social/social_graph.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace cloudfog::social {
+namespace {
+
+/// Two triangles joined by one bridge edge — the classic two-community
+/// example.
+SocialGraph two_triangles() {
+  SocialGraph g(6);
+  g.add_friendship(0, 1);
+  g.add_friendship(1, 2);
+  g.add_friendship(0, 2);
+  g.add_friendship(3, 4);
+  g.add_friendship(4, 5);
+  g.add_friendship(3, 5);
+  g.add_friendship(2, 3);  // bridge
+  return g;
+}
+
+TEST(Modularity, HandComputedTwoTriangles) {
+  const SocialGraph g = two_triangles();
+  const Partition partition{0, 0, 0, 1, 1, 1};
+  // 7 edges: 3 intra in A, 3 intra in B, 1 cross.
+  // q_AA = 3/7, q_BB = 3/7, q_AB = 1/7 (split ½ each direction).
+  // p_A = 3/7 + 0.5/7, Γ = Σ q_aa − p_a² = 6/7 − 2·(3.5/7)² = 6/7 − 0.5.
+  EXPECT_NEAR(modularity(g, partition, 2), 6.0 / 7.0 - 0.5, 1e-12);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const SocialGraph g = two_triangles();
+  const Partition partition(6, 0);
+  // Tr(Q) = 1, p_0 = 1 → Γ = 1 − 1 = 0.
+  EXPECT_NEAR(modularity(g, partition, 1), 0.0, 1e-12);
+}
+
+TEST(Modularity, GoodSplitBeatsBadSplit) {
+  const SocialGraph g = two_triangles();
+  const double good = modularity(g, {0, 0, 0, 1, 1, 1}, 2);
+  const double bad = modularity(g, {0, 1, 0, 1, 0, 1}, 2);
+  EXPECT_GT(good, bad);
+}
+
+TEST(Modularity, EmptyGraphIsZero) {
+  const SocialGraph g(4);
+  EXPECT_DOUBLE_EQ(modularity(g, {0, 1, 0, 1}, 2), 0.0);
+}
+
+TEST(Modularity, ValidatesInput) {
+  const SocialGraph g = two_triangles();
+  EXPECT_THROW(modularity(g, {0, 0, 0}, 2), cloudfog::ConfigError);       // size
+  EXPECT_THROW(modularity(g, {0, 0, 0, 1, 1, 5}, 2), cloudfog::ConfigError);  // range
+}
+
+TEST(ModularityState, MatchesFullComputationInitially) {
+  const SocialGraph g = two_triangles();
+  const Partition partition{0, 0, 0, 1, 1, 1};
+  const ModularityState state(g, partition, 2);
+  EXPECT_NEAR(state.modularity(), modularity(g, partition, 2), 1e-12);
+}
+
+TEST(ModularityState, MoveUpdatesIncrementally) {
+  const SocialGraph g = two_triangles();
+  ModularityState state(g, {0, 0, 0, 1, 1, 1}, 2);
+  state.move(2, 1);
+  const Partition moved{0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(state.modularity(), modularity(g, moved, 2), 1e-12);
+  EXPECT_EQ(state.community_of(2), 1);
+}
+
+TEST(ModularityState, MoveToSameCommunityIsNoop) {
+  const SocialGraph g = two_triangles();
+  ModularityState state(g, {0, 0, 0, 1, 1, 1}, 2);
+  const double before = state.modularity();
+  state.move(0, 0);
+  EXPECT_DOUBLE_EQ(state.modularity(), before);
+}
+
+TEST(ModularityState, CommunitySizesTracked) {
+  const SocialGraph g = two_triangles();
+  ModularityState state(g, {0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_EQ(state.community_size(0), 3u);
+  state.move(0, 1);
+  EXPECT_EQ(state.community_size(0), 2u);
+  EXPECT_EQ(state.community_size(1), 4u);
+}
+
+// Property: a long random sequence of incremental moves always agrees
+// with the from-scratch computation.
+TEST(ModularityState, RandomMoveSequenceMatchesFullRecompute) {
+  util::Rng rng(9);
+  const auto g = generate_power_law_graph(200, SocialGraphConfig{}, rng);
+  Partition partition(200);
+  for (auto& c : partition) c = static_cast<CommunityId>(rng.uniform_int(0, 7));
+  ModularityState state(g, partition, 8);
+  for (int step = 0; step < 500; ++step) {
+    const auto p = static_cast<PlayerId>(rng.uniform_int(0, 199));
+    const auto target = static_cast<CommunityId>(rng.uniform_int(0, 7));
+    state.move(p, target);
+  }
+  EXPECT_NEAR(state.modularity(),
+              modularity(g, state.partition(), 8), 1e-9);
+}
+
+TEST(ModularityState, PerfectCommunitiesScoreHigh) {
+  // Ten disjoint cliques of 6, partitioned exactly.
+  SocialGraph g(60);
+  Partition partition(60);
+  for (int c = 0; c < 10; ++c) {
+    for (int i = 0; i < 6; ++i) {
+      partition[static_cast<std::size_t>(c * 6 + i)] = c;
+      for (int j = i + 1; j < 6; ++j) {
+        g.add_friendship(static_cast<PlayerId>(c * 6 + i),
+                         static_cast<PlayerId>(c * 6 + j));
+      }
+    }
+  }
+  // Perfectly separated communities: Γ = 1 − Σ p_a² = 1 − 10·(1/10)² = 0.9.
+  EXPECT_NEAR(modularity(g, partition, 10), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace cloudfog::social

@@ -1,0 +1,175 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cloudfog::util {
+namespace {
+
+TEST(Rng, SameSeedProducesIdenticalSequences) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, DifferentStreamsDiverge) {
+  Rng a(123, 1);
+  Rng b(123, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(6);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    saw_lo |= v == 0;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(8);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, -1);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, -1);
+  }
+}
+
+TEST(Rng, UniformIntRejectsInvertedBounds) {
+  Rng rng(10);
+  EXPECT_THROW(rng.uniform_int(3, 2), ConfigError);
+}
+
+TEST(Rng, UniformDoubleRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.5, 7.5);
+    ASSERT_GE(v, 2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(12);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), ConfigError);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceRejectsOutOfRange) {
+  Rng rng(15);
+  EXPECT_THROW(rng.chance(-0.1), ConfigError);
+  EXPECT_THROW(rng.chance(1.1), ConfigError);
+}
+
+TEST(Rng, ForkedChildrenAreIndependentOfParentLabel) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child_a = parent1.fork("a");
+  Rng child_b = parent2.fork("b");
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.next_u32() != child_b.next_u32()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(99);
+  Rng p2(99);
+  Rng c1 = p1.fork("sub");
+  Rng c2 = p2.fork("sub");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(c1.next_u32(), c2.next_u32());
+  }
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> original = v;
+  Rng rng(21);
+  std::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, original);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);  // a permutation, nothing lost
+}
+
+TEST(Splitmix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Hash64, DistinctStringsDistinctHashes) {
+  EXPECT_NE(hash64("players"), hash64("supernodes"));
+  EXPECT_EQ(hash64("x"), hash64("x"));
+}
+
+}  // namespace
+}  // namespace cloudfog::util

@@ -1,0 +1,151 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValueVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleSet, MeanAndMedian) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (double v : {10.0, 20.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 15.0);
+}
+
+TEST(SampleSet, PercentileAfterLaterAdds) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 1.0);
+  s.add(9.0);  // must invalidate the cached sort
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 9.0);
+}
+
+TEST(SampleSet, PercentileErrors) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(0.5), ConfigError);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(1.5), ConfigError);
+}
+
+TEST(SampleSet, EmptyMeanIsZero) {
+  const SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-100.0);  // clamps into the first bin
+  h.add(100.0);   // clamps into the last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, CdfMonotoneAndBounded) {
+  Histogram h(0.0, 100.0, 20);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  double prev = 0.0;
+  for (double x = 0.0; x <= 100.0; x += 5.0) {
+    const double c = h.cdf(x);
+    ASSERT_GE(c, prev);
+    ASSERT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(100.0), 1.0);
+}
+
+TEST(Histogram, CdfUniformMidpoint) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.cdf(5.0), 0.5, 0.01);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::util

@@ -1,0 +1,81 @@
+#include "video/qoe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::video {
+namespace {
+
+TEST(Qoe, MosStaysOnTheScale) {
+  const QoeModel model;
+  for (double lat : {0.0, 50.0, 100.0, 300.0, 1000.0}) {
+    for (double cont : {0.0, 0.5, 1.0}) {
+      for (double br : {300.0, 800.0, 1800.0}) {
+        const double mos = model.mos(lat, cont, br);
+        ASSERT_GE(mos, 1.0);
+        ASSERT_LE(mos, 5.0);
+      }
+    }
+  }
+}
+
+TEST(Qoe, PerfectSessionNearFive) {
+  const QoeModel model;
+  EXPECT_GT(model.mos(10.0, 1.0, 1800.0), 4.5);
+}
+
+TEST(Qoe, DisasterSessionNearOne) {
+  const QoeModel model;
+  EXPECT_LT(model.mos(500.0, 0.0, 300.0), 1.2);
+}
+
+TEST(Qoe, LatencyKneeIsHalfway) {
+  const QoeModel model;
+  EXPECT_NEAR(model.latency_factor(100.0), 0.5, 1e-9);
+  EXPECT_GT(model.latency_factor(50.0), 0.7);
+  EXPECT_LT(model.latency_factor(200.0), 0.1);
+}
+
+TEST(Qoe, MosMonotoneInEachFactor) {
+  const QoeModel model;
+  EXPECT_GT(model.mos(60.0, 0.9, 800.0), model.mos(140.0, 0.9, 800.0));
+  EXPECT_GT(model.mos(60.0, 0.95, 800.0), model.mos(60.0, 0.6, 800.0));
+  EXPECT_GT(model.mos(60.0, 0.9, 1800.0), model.mos(60.0, 0.9, 300.0));
+}
+
+TEST(Qoe, StallsHurtSuperLinearly) {
+  const QoeModel model;
+  // Halving continuity costs more than half the continuity factor.
+  EXPECT_LT(model.continuity_factor(0.5), 0.5 * model.continuity_factor(1.0) + 1e-12);
+}
+
+TEST(Qoe, BitrateHasDiminishingReturns) {
+  const QoeModel model;
+  const double low_step = model.quality_factor(600.0) - model.quality_factor(300.0);
+  const double high_step = model.quality_factor(1800.0) - model.quality_factor(1500.0);
+  EXPECT_GT(low_step, high_step);
+  EXPECT_DOUBLE_EQ(model.quality_factor(300.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.quality_factor(1800.0), 1.0);
+}
+
+TEST(Qoe, ExtremeBitratesClamp) {
+  const QoeModel model;
+  EXPECT_DOUBLE_EQ(model.quality_factor(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.quality_factor(99999.0), 1.0);
+}
+
+TEST(Qoe, Validation) {
+  QoeModelConfig cfg;
+  cfg.latency_knee_ms = 0.0;
+  EXPECT_THROW(QoeModel{cfg}, cloudfog::ConfigError);
+  cfg = QoeModelConfig{};
+  cfg.max_bitrate_kbps = cfg.min_bitrate_kbps;
+  EXPECT_THROW(QoeModel{cfg}, cloudfog::ConfigError);
+  const QoeModel model;
+  EXPECT_THROW(model.mos(-1.0, 0.5, 800.0), cloudfog::ConfigError);
+  EXPECT_THROW(model.mos(50.0, 1.5, 800.0), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::video

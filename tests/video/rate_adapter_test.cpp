@@ -1,0 +1,175 @@
+#include "video/rate_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/game_catalog.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::video {
+namespace {
+
+const game::GameCatalog& catalog() {
+  static const game::GameCatalog instance = game::GameCatalog::paper_default();
+  return instance;
+}
+
+RateAdapterConfig config(int consecutive = 3) {
+  RateAdapterConfig cfg;
+  cfg.consecutive_required = consecutive;
+  // Deterministic up-switching for the unit tests; the probabilistic
+  // desynchronization is covered by its own test below.
+  cfg.consecutive_up_required = consecutive;
+  cfg.up_probability = 1.0;
+  return cfg;
+}
+
+TEST(RateAdapter, StartsAtGameDefaultLevel) {
+  const RateAdapter adapter(catalog(), /*game=*/4, config());  // MMORPG, level 5
+  EXPECT_EQ(adapter.current_level().level, 5);
+  EXPECT_DOUBLE_EQ(adapter.current_bitrate_kbps(), 1800.0);
+}
+
+TEST(RateAdapter, ThresholdsFollowRhoScaling) {
+  // Game 0 (ρ = 0.6) must have higher thresholds than game 4 (ρ = 1.0):
+  // latency-sensitive games demand a bigger safety buffer (§3.3).
+  const RateAdapter strict(catalog(), 0, config());
+  const RateAdapter lenient(catalog(), 4, config());
+  const double beta = catalog().ladder().adjust_up_factor();
+  EXPECT_NEAR(strict.up_threshold(), (1.0 + beta) / 0.6, 1e-12);
+  EXPECT_NEAR(lenient.up_threshold(), (1.0 + beta) / 1.0, 1e-12);
+  EXPECT_NEAR(strict.down_threshold(), 0.5 / 0.6, 1e-12);
+  EXPECT_NEAR(lenient.down_threshold(), 0.5, 1e-12);
+  EXPECT_GT(strict.up_threshold(), lenient.up_threshold());
+}
+
+TEST(RateAdapter, StepsDownAfterConsecutiveStarvation) {
+  RateAdapter adapter(catalog(), 4, config(3));
+  // Downloading at half the playback rate: buffer stays near empty,
+  // r < θ/ρ every estimate.
+  int downs = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto out = adapter.step(2.0, 900e3);
+    if (out.decision == RateDecision::kDown) ++downs;
+  }
+  EXPECT_EQ(downs, 1);
+  EXPECT_EQ(adapter.current_level().level, 4);  // one level only
+}
+
+TEST(RateAdapter, HysteresisRequiresConsecutiveEstimates) {
+  RateAdapter adapter(catalog(), 4, config(3));
+  adapter.step(2.0, 900e3);   // deficit (1/3)
+  adapter.step(2.0, 900e3);   // deficit (2/3)
+  // A clearly healthy estimate (large surplus) breaks the streak.
+  adapter.step(2.0, 5400e3);
+  adapter.step(2.0, 900e3);   // deficit (1/3 again)
+  adapter.step(2.0, 900e3);
+  EXPECT_EQ(adapter.current_level().level, 5);  // still not adjusted
+}
+
+TEST(RateAdapter, StepsUpWhenBufferFills) {
+  // Start a level below max, feed surplus until r > (1+β)/ρ holds thrice.
+  RateAdapter adapter(catalog(), 4, config(3));
+  // First force it down one level.
+  for (int i = 0; i < 3; ++i) adapter.step(2.0, 100e3);
+  ASSERT_EQ(adapter.current_level().level, 4);
+  // Now feed a fat pipe; playback at 1200 kbps, download much higher.
+  int ups = 0;
+  for (int i = 0; i < 30 && adapter.current_level().level < 5; ++i) {
+    if (adapter.step(2.0, 5000e3).decision == RateDecision::kUp) ++ups;
+  }
+  EXPECT_EQ(adapter.current_level().level, 5);
+  EXPECT_EQ(ups, 1);
+}
+
+TEST(RateAdapter, NeverExceedsGameDefault) {
+  RateAdapter adapter(catalog(), 2, config(1));  // default level 3
+  for (int i = 0; i < 50; ++i) adapter.step(2.0, 10000e3);
+  EXPECT_EQ(adapter.current_level().level, 3);
+}
+
+TEST(RateAdapter, NeverDropsBelowLadderMinimum) {
+  RateAdapter adapter(catalog(), 4, config(1));
+  for (int i = 0; i < 50; ++i) adapter.step(2.0, 1e3);
+  EXPECT_EQ(adapter.current_level().level, 1);
+}
+
+TEST(RateAdapter, DisabledAdapterNeverMoves) {
+  RateAdapterConfig cfg = config(1);
+  cfg.enabled = false;
+  RateAdapter adapter(catalog(), 4, cfg);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(adapter.step(2.0, 1e3).decision, RateDecision::kHold);
+  }
+  EXPECT_EQ(adapter.current_level().level, 5);
+}
+
+TEST(RateAdapter, BufferedSegmentsReportedInCurrentSegmentSize) {
+  RateAdapter adapter(catalog(), 4, config());  // plays at 1800 kbps
+  adapter.step(1.0, 2400e3);  // surplus of 600 kbit over 1 s
+  EXPECT_NEAR(adapter.buffered_segments(), 600e3 / 1800e3, 1e-9);
+}
+
+TEST(RateAdapter, StarvationSurfacesInOutcome) {
+  RateAdapter adapter(catalog(), 4, config());
+  const auto out = adapter.step(1.0, 600e3);  // 1200 kbit demanded, 600 got
+  EXPECT_GT(out.starved_bits, 0.0);
+}
+
+TEST(RateAdapter, ProbabilisticUpSwitchStaggersSessions) {
+  // Two adapters with different rng streams and up_probability < 1 reach
+  // the up condition together but fire at different times.
+  RateAdapterConfig cfg = config(1);
+  cfg.up_probability = 0.3;
+  RateAdapter a(catalog(), 4, cfg, util::Rng(1));
+  RateAdapter b(catalog(), 4, cfg, util::Rng(2));
+  // Push both down one level first.
+  for (int i = 0; i < 1; ++i) {
+    a.step(2.0, 100e3);
+    b.step(2.0, 100e3);
+  }
+  ASSERT_EQ(a.current_level().level, 4);
+  int a_up_at = -1;
+  int b_up_at = -1;
+  for (int t = 0; t < 200 && (a_up_at < 0 || b_up_at < 0); ++t) {
+    if (a_up_at < 0 && a.step(2.0, 8000e3).decision == RateDecision::kUp) a_up_at = t;
+    if (b_up_at < 0 && b.step(2.0, 8000e3).decision == RateDecision::kUp) b_up_at = t;
+  }
+  ASSERT_GE(a_up_at, 0);
+  ASSERT_GE(b_up_at, 0);
+  EXPECT_NE(a_up_at, b_up_at);
+}
+
+TEST(RateAdapter, RejectsBadConfig) {
+  RateAdapterConfig cfg = config();
+  cfg.theta = 0.0;
+  EXPECT_THROW(RateAdapter(catalog(), 4, cfg), cloudfog::ConfigError);
+  cfg = config();
+  cfg.consecutive_required = 0;
+  EXPECT_THROW(RateAdapter(catalog(), 4, cfg), cloudfog::ConfigError);
+  cfg = config();
+  cfg.buffer_capacity_segments = 1.0;  // below the adjust-up threshold
+  EXPECT_THROW(RateAdapter(catalog(), 0, cfg), cloudfog::ConfigError);
+}
+
+// Property sweep: for every game, the down threshold is θ/ρ and the level
+// always stays within [1, default].
+class AdapterPerGame : public ::testing::TestWithParam<game::GameId> {};
+
+TEST_P(AdapterPerGame, LevelStaysInBudget) {
+  const game::GameId id = GetParam();
+  RateAdapter adapter(catalog(), id, config(1));
+  const int max_level = catalog().game(id).default_quality_level;
+  util::Rng rng(static_cast<std::uint64_t>(id) + 1);
+  for (int i = 0; i < 200; ++i) {
+    adapter.step(2.0, rng.uniform(0.0, 4000.0) * 1000.0);
+    ASSERT_GE(adapter.current_level().level, 1);
+    ASSERT_LE(adapter.current_level().level, max_level);
+  }
+  EXPECT_NEAR(adapter.down_threshold(),
+              0.5 / catalog().game(id).latency_tolerance, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, AdapterPerGame, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cloudfog::video

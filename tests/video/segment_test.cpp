@@ -1,0 +1,29 @@
+#include "video/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::video {
+namespace {
+
+TEST(Segment, BitsIsBitrateTimesDuration) {
+  EXPECT_DOUBLE_EQ(segment_bits(SegmentSpec{1.0, 800.0}), 800000.0);
+  EXPECT_DOUBLE_EQ(segment_bits(SegmentSpec{2.0, 500.0}), 1000000.0);
+}
+
+TEST(Segment, SegmentsFromBitsInverse) {
+  const SegmentSpec spec{1.0, 1200.0};
+  EXPECT_DOUBLE_EQ(segments_from_bits(segment_bits(spec), spec), 1.0);
+  EXPECT_DOUBLE_EQ(segments_from_bits(3.0 * segment_bits(spec), spec), 3.0);
+  EXPECT_DOUBLE_EQ(segments_from_bits(0.0, spec), 0.0);
+}
+
+TEST(Segment, RejectsInvalidSpec) {
+  EXPECT_THROW(segment_bits(SegmentSpec{0.0, 800.0}), cloudfog::ConfigError);
+  EXPECT_THROW(segment_bits(SegmentSpec{1.0, 0.0}), cloudfog::ConfigError);
+  EXPECT_THROW(segments_from_bits(-1.0, SegmentSpec{1.0, 800.0}), cloudfog::ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::video

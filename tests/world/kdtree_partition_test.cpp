@@ -1,0 +1,121 @@
+#include "world/kdtree_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace cloudfog::world {
+namespace {
+
+VirtualWorld hotspot_world(std::uint64_t seed, int population) {
+  WorldConfig cfg;
+  cfg.hotspot_fraction = 0.85;  // strongly skewed population
+  VirtualWorld world(cfg, util::Rng(seed));
+  for (int i = 0; i < population; ++i) world.spawn();
+  return world;
+}
+
+TEST(KdTree, RegionsTileTheWorld) {
+  auto world = hotspot_world(1, 1000);
+  const auto partition = build_kdtree_partition(world, 32, 8);
+  EXPECT_EQ(partition.region_count(), 32u);
+  // Every live avatar falls into exactly one region (region_of throws if
+  // coverage fails); total region area equals world area.
+  double area = 0.0;
+  for (const Region& r : partition.regions()) {
+    EXPECT_GE(r.bounds.x1, r.bounds.x0);
+    EXPECT_GE(r.bounds.y1, r.bounds.y0);
+    area += (r.bounds.x1 - r.bounds.x0) * (r.bounds.y1 - r.bounds.y0);
+  }
+  EXPECT_NEAR(area, world.config().width * world.config().height, 1.0);
+  for (const Avatar& a : world.avatars()) {
+    if (a.alive) {
+      EXPECT_NO_THROW(partition.region_of(a.position));
+    }
+  }
+}
+
+TEST(KdTree, LeavesCarryNearEqualPopulation) {
+  auto world = hotspot_world(2, 2048);
+  const auto partition = build_kdtree_partition(world, 16, 4);
+  for (const Region& r : partition.regions()) {
+    EXPECT_NEAR(static_cast<double>(r.load), 2048.0 / 16.0, 2048.0 / 16.0 * 0.1);
+  }
+}
+
+TEST(KdTree, BalancesSkewedPopulationsBetterThanGrid) {
+  // The [13] claim the paper builds on: median splits adapt to hotspots,
+  // uniform grids do not.
+  auto world = hotspot_world(3, 4000);
+  const std::size_t servers = 8;
+  const auto kd = build_kdtree_partition(world, 64, servers);
+  const auto grid = build_grid_partition(world, 8, 8, servers);
+  const double kd_imbalance = WorldPartition::imbalance(kd.server_loads(world, servers));
+  const double grid_imbalance = WorldPartition::imbalance(grid.server_loads(world, servers));
+  EXPECT_LT(kd_imbalance, 1.3);
+  EXPECT_GT(grid_imbalance, kd_imbalance * 1.3);
+}
+
+TEST(KdTree, ServerAssignmentUsesAllServers) {
+  auto world = hotspot_world(4, 1000);
+  const auto partition = build_kdtree_partition(world, 32, 8);
+  std::vector<bool> used(8, false);
+  for (const Region& r : partition.regions()) used[r.server] = true;
+  for (bool u : used) EXPECT_TRUE(u);
+}
+
+TEST(KdTree, RejectsNonPowerOfTwoRegions) {
+  auto world = hotspot_world(5, 100);
+  EXPECT_THROW(build_kdtree_partition(world, 12, 4), ConfigError);
+  EXPECT_THROW(build_kdtree_partition(world, 0, 4), ConfigError);
+}
+
+TEST(KdTree, EmptyWorldStillPartitions) {
+  WorldConfig cfg;
+  VirtualWorld world(cfg, util::Rng(6));
+  const auto partition = build_kdtree_partition(world, 8, 2);
+  EXPECT_EQ(partition.region_count(), 8u);
+  EXPECT_EQ(partition.region_of(Vec2{1.0, 1.0}),
+            partition.region_of(Vec2{1.0, 1.0}));  // total, deterministic
+}
+
+TEST(GridPartition, UniformCells) {
+  auto world = hotspot_world(7, 10);
+  const auto grid = build_grid_partition(world, 2, 3, 6);
+  EXPECT_EQ(grid.region_count(), 6u);
+  const Region& first = grid.regions().front();
+  EXPECT_NEAR(first.bounds.x1 - first.bounds.x0, world.config().width / 3.0, 1e-9);
+  EXPECT_NEAR(first.bounds.y1 - first.bounds.y0, world.config().height / 2.0, 1e-9);
+}
+
+TEST(Imbalance, KnownValues) {
+  EXPECT_DOUBLE_EQ(WorldPartition::imbalance({10, 10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(WorldPartition::imbalance({30, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(WorldPartition::imbalance({0, 0}), 1.0);
+}
+
+TEST(CrossServer, FractionBetweenZeroAndOne) {
+  auto world = hotspot_world(8, 2000);
+  const auto partition = build_kdtree_partition(world, 64, 8);
+  const double frac = partition.cross_server_interaction_fraction(world);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(CrossServer, SingleServerHasNoCrossTraffic) {
+  auto world = hotspot_world(9, 1000);
+  const auto partition = build_kdtree_partition(world, 8, 1);
+  EXPECT_DOUBLE_EQ(partition.cross_server_interaction_fraction(world), 0.0);
+}
+
+TEST(BoundaryPoints, OuterEdgeIsCovered) {
+  auto world = hotspot_world(10, 100);
+  const auto partition = build_kdtree_partition(world, 16, 4);
+  EXPECT_NO_THROW(partition.region_of(Vec2{world.config().width, world.config().height}));
+  EXPECT_NO_THROW(partition.region_of(Vec2{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace cloudfog::world

@@ -1,0 +1,117 @@
+#include "world/state_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace cloudfog::world {
+namespace {
+
+VirtualWorld populated_world(std::uint64_t seed, int population) {
+  WorldConfig cfg;
+  VirtualWorld world(cfg, util::Rng(seed));
+  for (int i = 0; i < population; ++i) world.spawn();
+  return world;
+}
+
+TEST(StateEngine, TickAdvancesWorldAndReportsWork) {
+  auto world = populated_world(1, 1000);
+  GameStateEngine engine(world, StateEngineConfig{});
+  const Vec2 before = world.avatar(0).position;
+  const TickStats stats = engine.tick(1.0);
+  EXPECT_GT(stats.compute_ms, 0.0);
+  EXPECT_GE(stats.imbalance, 1.0);
+  EXPECT_NE(distance(before, world.avatar(0).position), 0.0);
+}
+
+TEST(StateEngine, ComputeGrowsWithPopulation) {
+  auto small_world = populated_world(2, 200);
+  auto large_world = populated_world(2, 4000);
+  GameStateEngine small_engine(small_world, StateEngineConfig{});
+  GameStateEngine large_engine(large_world, StateEngineConfig{});
+  EXPECT_LT(small_engine.tick(1.0).compute_ms, large_engine.tick(1.0).compute_ms);
+}
+
+TEST(StateEngine, MoreServersLowerCriticalPath) {
+  StateEngineConfig few;
+  few.server_count = 1;
+  StateEngineConfig many;
+  many.server_count = 16;
+  auto w1 = populated_world(3, 3000);
+  auto w2 = populated_world(3, 3000);
+  GameStateEngine e_few(w1, few);
+  GameStateEngine e_many(w2, many);
+  // With one server there is no cross-server sync but all work serializes;
+  // the avatar-update term dominates at this population.
+  EXPECT_GT(e_few.tick(1.0).compute_ms, e_many.tick(1.0).compute_ms);
+}
+
+TEST(StateEngine, CrossServerInteractionsCounted) {
+  auto world = populated_world(4, 3000);
+  StateEngineConfig cfg;
+  cfg.server_count = 8;
+  GameStateEngine engine(world, cfg);
+  const TickStats stats = engine.tick(1.0);
+  EXPECT_GT(stats.interactions, 0u);
+  EXPECT_LE(stats.cross_server_interactions, stats.interactions);
+}
+
+TEST(StateEngine, RebalanceRestoresBalanceAfterDrift) {
+  auto world = populated_world(5, 2000);
+  StateEngineConfig cfg;
+  cfg.rebalance_threshold = 1e9;  // never auto-rebalance
+  GameStateEngine engine(world, cfg);
+  // Let the population drift for a long time; the initial kd-tree goes
+  // stale as avatars migrate between hotspots.
+  double drifted = 1.0;
+  for (int i = 0; i < 300; ++i) drifted = engine.tick(10.0).imbalance;
+  engine.rebalance();
+  const double rebuilt =
+      WorldPartition::imbalance(engine.partition().server_loads(world, cfg.server_count));
+  EXPECT_LE(rebuilt, drifted + 1e-9);
+  EXPECT_LT(rebuilt, 1.3);
+}
+
+TEST(StateEngine, AutoRebalanceTriggersOnThreshold) {
+  auto world = populated_world(6, 2000);
+  StateEngineConfig cfg;
+  cfg.rebalance_threshold = 1.05;  // hair trigger
+  GameStateEngine engine(world, cfg);
+  bool rebalanced = false;
+  for (int i = 0; i < 100 && !rebalanced; ++i) rebalanced = engine.tick(10.0).rebalanced;
+  EXPECT_TRUE(rebalanced);
+}
+
+TEST(StateEngine, UpdateFeedScalesWithLocalPopulation) {
+  auto world = populated_world(7, 3000);
+  GameStateEngine engine(world, StateEngineConfig{});
+  // Find a dense spot and an empty spot.
+  double dense_feed = 0.0;
+  for (const Avatar& a : world.avatars()) {
+    dense_feed = std::max(dense_feed, engine.update_feed_bps(a.position, 500.0, 30.0));
+  }
+  const double corner_feed = engine.update_feed_bps(Vec2{0.0, 0.0}, 1.0, 30.0);
+  EXPECT_GT(dense_feed, corner_feed);
+  EXPECT_GT(dense_feed, 0.0);
+}
+
+TEST(StateEngine, UpdateFeedMatchesFormula) {
+  auto world = populated_world(8, 100);
+  GameStateEngine engine(world, StateEngineConfig{});
+  const double whole_world =
+      engine.update_feed_bps(Vec2{world.config().width / 2, world.config().height / 2},
+                             1e9, 30.0);
+  EXPECT_NEAR(whole_world, 100.0 * 400.0 * 30.0, 1e-6);
+}
+
+TEST(StateEngine, ConfigValidation) {
+  auto world = populated_world(9, 10);
+  StateEngineConfig cfg;
+  cfg.rebalance_threshold = 0.5;
+  EXPECT_THROW(GameStateEngine(world, cfg), ConfigError);
+  GameStateEngine ok(world, StateEngineConfig{});
+  EXPECT_THROW(ok.update_feed_bps(Vec2{0, 0}, 10.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::world

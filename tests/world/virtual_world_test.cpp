@@ -1,0 +1,144 @@
+#include "world/virtual_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::world {
+namespace {
+
+VirtualWorld make_world(std::uint64_t seed = 1, WorldConfig cfg = {}) {
+  return VirtualWorld(cfg, util::Rng(seed));
+}
+
+TEST(VirtualWorld, SpawnAndDespawnTrackPopulation) {
+  auto world = make_world();
+  const AvatarId a = world.spawn();
+  const AvatarId b = world.spawn();
+  EXPECT_EQ(world.population(), 2u);
+  world.despawn(a);
+  EXPECT_EQ(world.population(), 1u);
+  EXPECT_TRUE(world.avatar(b).alive);
+  EXPECT_THROW(world.avatar(a), ConfigError);
+}
+
+TEST(VirtualWorld, SlotsAreRecycled) {
+  auto world = make_world();
+  const AvatarId a = world.spawn();
+  world.despawn(a);
+  const AvatarId b = world.spawn();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(world.population(), 1u);
+}
+
+TEST(VirtualWorld, AvatarsStayInBounds) {
+  auto world = make_world(2);
+  for (int i = 0; i < 300; ++i) world.spawn();
+  for (int step = 0; step < 200; ++step) {
+    world.step(1.0);
+    for (const Avatar& a : world.avatars()) {
+      if (!a.alive) continue;
+      ASSERT_GE(a.position.x, 0.0);
+      ASSERT_LE(a.position.x, world.config().width);
+      ASSERT_GE(a.position.y, 0.0);
+      ASSERT_LE(a.position.y, world.config().height);
+    }
+  }
+}
+
+TEST(VirtualWorld, AvatarsActuallyMove) {
+  auto world = make_world(3);
+  const AvatarId id = world.spawn();
+  const Vec2 before = world.avatar(id).position;
+  world.step(5.0);
+  const Vec2 after = world.avatar(id).position;
+  EXPECT_GT(distance(before, after), 0.0);
+}
+
+TEST(VirtualWorld, MovementRespectsSpeed) {
+  auto world = make_world(4);
+  const AvatarId id = world.spawn();
+  const Vec2 before = world.avatar(id).position;
+  const double speed = world.avatar(id).speed;
+  world.step(1.0);
+  // May have re-targeted after arrival, but a single step can never cover
+  // more than max_speed × dt.
+  EXPECT_LE(distance(before, world.avatar(id).position),
+            world.config().max_speed + 1e-9);
+  EXPECT_GE(speed, world.config().min_speed);
+  EXPECT_LE(speed, world.config().max_speed);
+}
+
+TEST(VirtualWorld, HotspotsConcentratePopulation) {
+  WorldConfig cfg;
+  cfg.hotspot_fraction = 0.9;
+  auto world = VirtualWorld(cfg, util::Rng(5));
+  for (int i = 0; i < 2000; ++i) world.spawn();
+  // The hotspot area is tiny relative to the world; if spawns were
+  // uniform, the densest 50-radius disk would hold a handful of avatars.
+  std::size_t densest = 0;
+  for (const Avatar& a : world.avatars()) {
+    densest = std::max(densest, world.population_near(a.position, 300.0));
+  }
+  EXPECT_GT(densest, 50u);
+}
+
+TEST(VirtualWorld, InteractionPairsMatchBruteForce) {
+  auto world = make_world(6);
+  for (int i = 0; i < 400; ++i) world.spawn();
+  world.step(3.0);
+  auto pairs = world.interaction_pairs();
+  // Brute-force ground truth.
+  std::vector<std::pair<AvatarId, AvatarId>> expected;
+  const auto& avatars = world.avatars();
+  for (std::size_t i = 0; i < avatars.size(); ++i) {
+    for (std::size_t j = i + 1; j < avatars.size(); ++j) {
+      if (avatars[i].alive && avatars[j].alive &&
+          distance(avatars[i].position, avatars[j].position) <=
+              world.config().interaction_radius) {
+        expected.emplace_back(i, j);
+      }
+    }
+  }
+  auto norm = [](std::vector<std::pair<AvatarId, AvatarId>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(norm(pairs), norm(expected));
+}
+
+TEST(VirtualWorld, InteractionPairsUniqueAndOrdered) {
+  auto world = make_world(7);
+  for (int i = 0; i < 500; ++i) world.spawn();
+  const auto pairs = world.interaction_pairs();
+  for (const auto& [a, b] : pairs) EXPECT_LT(a, b);
+}
+
+TEST(VirtualWorld, DeterministicForSeed) {
+  auto w1 = make_world(8);
+  auto w2 = make_world(8);
+  for (int i = 0; i < 100; ++i) {
+    w1.spawn();
+    w2.spawn();
+  }
+  w1.step(10.0);
+  w2.step(10.0);
+  for (std::size_t i = 0; i < w1.avatars().size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1.avatars()[i].position.x, w2.avatars()[i].position.x);
+  }
+}
+
+TEST(VirtualWorld, ConfigValidation) {
+  WorldConfig cfg;
+  cfg.interaction_radius = 0.0;
+  EXPECT_THROW(VirtualWorld(cfg, util::Rng(1)), ConfigError);
+  cfg = WorldConfig{};
+  cfg.min_speed = 10.0;
+  cfg.max_speed = 5.0;
+  EXPECT_THROW(VirtualWorld(cfg, util::Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace cloudfog::world
