@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_candidates.dir/ext_candidates.cpp.o"
+  "CMakeFiles/bench_ext_candidates.dir/ext_candidates.cpp.o.d"
+  "bench_ext_candidates"
+  "bench_ext_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_epsilon.dir/ext_epsilon.cpp.o"
+  "CMakeFiles/bench_ext_epsilon.dir/ext_epsilon.cpp.o.d"
+  "bench_ext_epsilon"
+  "bench_ext_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_failures.dir/ext_failures.cpp.o"
+  "CMakeFiles/bench_ext_failures.dir/ext_failures.cpp.o.d"
+  "bench_ext_failures"
+  "bench_ext_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_forecast.dir/ext_forecast.cpp.o"
+  "CMakeFiles/bench_ext_forecast.dir/ext_forecast.cpp.o.d"
+  "bench_ext_forecast"
+  "bench_ext_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_incentives.dir/ext_incentives.cpp.o"
+  "CMakeFiles/bench_ext_incentives.dir/ext_incentives.cpp.o.d"
+  "bench_ext_incentives"
+  "bench_ext_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_malicious.dir/ext_malicious.cpp.o"
+  "CMakeFiles/bench_ext_malicious.dir/ext_malicious.cpp.o.d"
+  "bench_ext_malicious"
+  "bench_ext_malicious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_malicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_adaptation.dir/fig11_adaptation.cpp.o"
+  "CMakeFiles/bench_fig11_adaptation.dir/fig11_adaptation.cpp.o.d"
+  "bench_fig11_adaptation"
+  "bench_fig11_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_server_assignment.dir/fig12_server_assignment.cpp.o"
+  "CMakeFiles/bench_fig12_server_assignment.dir/fig12_server_assignment.cpp.o.d"
+  "bench_fig12_server_assignment"
+  "bench_fig12_server_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_server_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_provisioning_continuity.dir/fig15_provisioning_continuity.cpp.o"
+  "CMakeFiles/bench_fig15_provisioning_continuity.dir/fig15_provisioning_continuity.cpp.o.d"
+  "bench_fig15_provisioning_continuity"
+  "bench_fig15_provisioning_continuity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_provisioning_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_economics.dir/fig16_economics.cpp.o"
+  "CMakeFiles/bench_fig16_economics.dir/fig16_economics.cpp.o.d"
+  "bench_fig16_economics"
+  "bench_fig16_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

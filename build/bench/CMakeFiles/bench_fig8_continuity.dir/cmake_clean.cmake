@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_continuity.dir/fig8_continuity.cpp.o"
+  "CMakeFiles/bench_fig8_continuity.dir/fig8_continuity.cpp.o.d"
+  "bench_fig8_continuity"
+  "bench_fig8_continuity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_cli.dir/cloudfog_cli.cpp.o"
+  "CMakeFiles/cloudfog_cli.dir/cloudfog_cli.cpp.o.d"
+  "cloudfog_cli"
+  "cloudfog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/evening_peak.cpp" "examples/CMakeFiles/evening_peak.dir/evening_peak.cpp.o" "gcc" "examples/CMakeFiles/evening_peak.dir/evening_peak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_economics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

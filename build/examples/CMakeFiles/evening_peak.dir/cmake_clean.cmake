@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evening_peak.dir/evening_peak.cpp.o"
+  "CMakeFiles/evening_peak.dir/evening_peak.cpp.o.d"
+  "evening_peak"
+  "evening_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evening_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guild_battle.dir/guild_battle.cpp.o"
+  "CMakeFiles/guild_battle.dir/guild_battle.cpp.o.d"
+  "guild_battle"
+  "guild_battle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guild_battle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

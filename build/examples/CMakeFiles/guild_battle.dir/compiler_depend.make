@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for guild_battle.
+# This may be replaced when dependencies are built.

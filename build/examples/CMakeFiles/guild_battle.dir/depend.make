@@ -1,0 +1,2 @@
+# Empty dependencies file for guild_battle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_thin_client.dir/mobile_thin_client.cpp.o"
+  "CMakeFiles/mobile_thin_client.dir/mobile_thin_client.cpp.o.d"
+  "mobile_thin_client"
+  "mobile_thin_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_thin_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

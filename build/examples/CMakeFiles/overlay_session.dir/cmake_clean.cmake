@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_session.dir/overlay_session.cpp.o"
+  "CMakeFiles/overlay_session.dir/overlay_session.cpp.o.d"
+  "overlay_session"
+  "overlay_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

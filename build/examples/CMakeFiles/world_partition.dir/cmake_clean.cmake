@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_partition.dir/world_partition.cpp.o"
+  "CMakeFiles/world_partition.dir/world_partition.cpp.o.d"
+  "world_partition"
+  "world_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

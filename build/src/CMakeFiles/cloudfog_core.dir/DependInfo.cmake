@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/cloudfog_core.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/cloud.cpp" "src/CMakeFiles/cloudfog_core.dir/core/cloud.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/cloud.cpp.o.d"
+  "/root/repo/src/core/entities.cpp" "src/CMakeFiles/cloudfog_core.dir/core/entities.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/entities.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/cloudfog_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/fog_manager.cpp" "src/CMakeFiles/cloudfog_core.dir/core/fog_manager.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/fog_manager.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/cloudfog_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/provisioner.cpp" "src/CMakeFiles/cloudfog_core.dir/core/provisioner.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/provisioner.cpp.o.d"
+  "/root/repo/src/core/qos_engine.cpp" "src/CMakeFiles/cloudfog_core.dir/core/qos_engine.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/qos_engine.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/cloudfog_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/CMakeFiles/cloudfog_core.dir/core/testbed.cpp.o" "gcc" "src/CMakeFiles/cloudfog_core.dir/core/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_economics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_core.dir/core/baselines.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/baselines.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/cloud.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/cloud.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/entities.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/entities.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/fog_manager.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/fog_manager.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/provisioner.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/provisioner.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/qos_engine.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/qos_engine.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/system.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/core/testbed.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/core/testbed.cpp.o.d"
+  "libcloudfog_core.a"
+  "libcloudfog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

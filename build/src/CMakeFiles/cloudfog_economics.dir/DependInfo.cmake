@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/economics/contributor_market.cpp" "src/CMakeFiles/cloudfog_economics.dir/economics/contributor_market.cpp.o" "gcc" "src/CMakeFiles/cloudfog_economics.dir/economics/contributor_market.cpp.o.d"
+  "/root/repo/src/economics/cost_model.cpp" "src/CMakeFiles/cloudfog_economics.dir/economics/cost_model.cpp.o" "gcc" "src/CMakeFiles/cloudfog_economics.dir/economics/cost_model.cpp.o.d"
+  "/root/repo/src/economics/incentives.cpp" "src/CMakeFiles/cloudfog_economics.dir/economics/incentives.cpp.o" "gcc" "src/CMakeFiles/cloudfog_economics.dir/economics/incentives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

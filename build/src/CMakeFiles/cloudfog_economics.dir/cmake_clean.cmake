@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_economics.dir/economics/contributor_market.cpp.o"
+  "CMakeFiles/cloudfog_economics.dir/economics/contributor_market.cpp.o.d"
+  "CMakeFiles/cloudfog_economics.dir/economics/cost_model.cpp.o"
+  "CMakeFiles/cloudfog_economics.dir/economics/cost_model.cpp.o.d"
+  "CMakeFiles/cloudfog_economics.dir/economics/incentives.cpp.o"
+  "CMakeFiles/cloudfog_economics.dir/economics/incentives.cpp.o.d"
+  "libcloudfog_economics.a"
+  "libcloudfog_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/baselines.cpp" "src/CMakeFiles/cloudfog_forecast.dir/forecast/baselines.cpp.o" "gcc" "src/CMakeFiles/cloudfog_forecast.dir/forecast/baselines.cpp.o.d"
+  "/root/repo/src/forecast/sarima.cpp" "src/CMakeFiles/cloudfog_forecast.dir/forecast/sarima.cpp.o" "gcc" "src/CMakeFiles/cloudfog_forecast.dir/forecast/sarima.cpp.o.d"
+  "/root/repo/src/forecast/timeseries.cpp" "src/CMakeFiles/cloudfog_forecast.dir/forecast/timeseries.cpp.o" "gcc" "src/CMakeFiles/cloudfog_forecast.dir/forecast/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

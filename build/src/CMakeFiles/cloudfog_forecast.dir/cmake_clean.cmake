@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_forecast.dir/forecast/baselines.cpp.o"
+  "CMakeFiles/cloudfog_forecast.dir/forecast/baselines.cpp.o.d"
+  "CMakeFiles/cloudfog_forecast.dir/forecast/sarima.cpp.o"
+  "CMakeFiles/cloudfog_forecast.dir/forecast/sarima.cpp.o.d"
+  "CMakeFiles/cloudfog_forecast.dir/forecast/timeseries.cpp.o"
+  "CMakeFiles/cloudfog_forecast.dir/forecast/timeseries.cpp.o.d"
+  "libcloudfog_forecast.a"
+  "libcloudfog_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

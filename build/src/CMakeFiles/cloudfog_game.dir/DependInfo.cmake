@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/activity_model.cpp" "src/CMakeFiles/cloudfog_game.dir/game/activity_model.cpp.o" "gcc" "src/CMakeFiles/cloudfog_game.dir/game/activity_model.cpp.o.d"
+  "/root/repo/src/game/game_catalog.cpp" "src/CMakeFiles/cloudfog_game.dir/game/game_catalog.cpp.o" "gcc" "src/CMakeFiles/cloudfog_game.dir/game/game_catalog.cpp.o.d"
+  "/root/repo/src/game/quality_ladder.cpp" "src/CMakeFiles/cloudfog_game.dir/game/quality_ladder.cpp.o" "gcc" "src/CMakeFiles/cloudfog_game.dir/game/quality_ladder.cpp.o.d"
+  "/root/repo/src/game/workload.cpp" "src/CMakeFiles/cloudfog_game.dir/game/workload.cpp.o" "gcc" "src/CMakeFiles/cloudfog_game.dir/game/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_game.dir/game/activity_model.cpp.o"
+  "CMakeFiles/cloudfog_game.dir/game/activity_model.cpp.o.d"
+  "CMakeFiles/cloudfog_game.dir/game/game_catalog.cpp.o"
+  "CMakeFiles/cloudfog_game.dir/game/game_catalog.cpp.o.d"
+  "CMakeFiles/cloudfog_game.dir/game/quality_ladder.cpp.o"
+  "CMakeFiles/cloudfog_game.dir/game/quality_ladder.cpp.o.d"
+  "CMakeFiles/cloudfog_game.dir/game/workload.cpp.o"
+  "CMakeFiles/cloudfog_game.dir/game/workload.cpp.o.d"
+  "libcloudfog_game.a"
+  "libcloudfog_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

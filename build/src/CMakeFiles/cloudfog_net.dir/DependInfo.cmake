@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_model.cpp" "src/CMakeFiles/cloudfog_net.dir/net/bandwidth_model.cpp.o" "gcc" "src/CMakeFiles/cloudfog_net.dir/net/bandwidth_model.cpp.o.d"
+  "/root/repo/src/net/coordinates.cpp" "src/CMakeFiles/cloudfog_net.dir/net/coordinates.cpp.o" "gcc" "src/CMakeFiles/cloudfog_net.dir/net/coordinates.cpp.o.d"
+  "/root/repo/src/net/ip_locator.cpp" "src/CMakeFiles/cloudfog_net.dir/net/ip_locator.cpp.o" "gcc" "src/CMakeFiles/cloudfog_net.dir/net/ip_locator.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/CMakeFiles/cloudfog_net.dir/net/latency_model.cpp.o" "gcc" "src/CMakeFiles/cloudfog_net.dir/net/latency_model.cpp.o.d"
+  "/root/repo/src/net/ping_trace.cpp" "src/CMakeFiles/cloudfog_net.dir/net/ping_trace.cpp.o" "gcc" "src/CMakeFiles/cloudfog_net.dir/net/ping_trace.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/CMakeFiles/cloudfog_net.dir/net/trace_io.cpp.o" "gcc" "src/CMakeFiles/cloudfog_net.dir/net/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

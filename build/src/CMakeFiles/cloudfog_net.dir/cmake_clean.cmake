@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_net.dir/net/bandwidth_model.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/net/bandwidth_model.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/net/coordinates.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/net/coordinates.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/net/ip_locator.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/net/ip_locator.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/net/latency_model.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/net/latency_model.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/net/ping_trace.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/net/ping_trace.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/net/trace_io.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/net/trace_io.cpp.o.d"
+  "libcloudfog_net.a"
+  "libcloudfog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

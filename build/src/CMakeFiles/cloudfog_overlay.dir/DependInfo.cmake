@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/agents.cpp" "src/CMakeFiles/cloudfog_overlay.dir/overlay/agents.cpp.o" "gcc" "src/CMakeFiles/cloudfog_overlay.dir/overlay/agents.cpp.o.d"
+  "/root/repo/src/overlay/join_session.cpp" "src/CMakeFiles/cloudfog_overlay.dir/overlay/join_session.cpp.o" "gcc" "src/CMakeFiles/cloudfog_overlay.dir/overlay/join_session.cpp.o.d"
+  "/root/repo/src/overlay/message.cpp" "src/CMakeFiles/cloudfog_overlay.dir/overlay/message.cpp.o" "gcc" "src/CMakeFiles/cloudfog_overlay.dir/overlay/message.cpp.o.d"
+  "/root/repo/src/overlay/network.cpp" "src/CMakeFiles/cloudfog_overlay.dir/overlay/network.cpp.o" "gcc" "src/CMakeFiles/cloudfog_overlay.dir/overlay/network.cpp.o.d"
+  "/root/repo/src/overlay/probe_monitor.cpp" "src/CMakeFiles/cloudfog_overlay.dir/overlay/probe_monitor.cpp.o" "gcc" "src/CMakeFiles/cloudfog_overlay.dir/overlay/probe_monitor.cpp.o.d"
+  "/root/repo/src/overlay/stream_channel.cpp" "src/CMakeFiles/cloudfog_overlay.dir/overlay/stream_channel.cpp.o" "gcc" "src/CMakeFiles/cloudfog_overlay.dir/overlay/stream_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_overlay.dir/overlay/agents.cpp.o"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/agents.cpp.o.d"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/join_session.cpp.o"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/join_session.cpp.o.d"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/message.cpp.o"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/message.cpp.o.d"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/network.cpp.o"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/network.cpp.o.d"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/probe_monitor.cpp.o"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/probe_monitor.cpp.o.d"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/stream_channel.cpp.o"
+  "CMakeFiles/cloudfog_overlay.dir/overlay/stream_channel.cpp.o.d"
+  "libcloudfog_overlay.a"
+  "libcloudfog_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

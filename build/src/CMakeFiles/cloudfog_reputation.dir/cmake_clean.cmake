@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_reputation.dir/reputation/rating.cpp.o"
+  "CMakeFiles/cloudfog_reputation.dir/reputation/rating.cpp.o.d"
+  "CMakeFiles/cloudfog_reputation.dir/reputation/reputation_store.cpp.o"
+  "CMakeFiles/cloudfog_reputation.dir/reputation/reputation_store.cpp.o.d"
+  "libcloudfog_reputation.a"
+  "libcloudfog_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/cloudfog_reputation.dir/reputation/rating.cpp.o: \
+ /root/repo/src/reputation/rating.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/reputation/rating.hpp

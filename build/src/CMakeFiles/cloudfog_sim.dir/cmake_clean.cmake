@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_sim.dir/sim/churn.cpp.o"
+  "CMakeFiles/cloudfog_sim.dir/sim/churn.cpp.o.d"
+  "CMakeFiles/cloudfog_sim.dir/sim/cycle_driver.cpp.o"
+  "CMakeFiles/cloudfog_sim.dir/sim/cycle_driver.cpp.o.d"
+  "CMakeFiles/cloudfog_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/cloudfog_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/cloudfog_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/cloudfog_sim.dir/sim/simulator.cpp.o.d"
+  "libcloudfog_sim.a"
+  "libcloudfog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/social/community_partitioner.cpp" "src/CMakeFiles/cloudfog_social.dir/social/community_partitioner.cpp.o" "gcc" "src/CMakeFiles/cloudfog_social.dir/social/community_partitioner.cpp.o.d"
+  "/root/repo/src/social/friendship_tracker.cpp" "src/CMakeFiles/cloudfog_social.dir/social/friendship_tracker.cpp.o" "gcc" "src/CMakeFiles/cloudfog_social.dir/social/friendship_tracker.cpp.o.d"
+  "/root/repo/src/social/modularity.cpp" "src/CMakeFiles/cloudfog_social.dir/social/modularity.cpp.o" "gcc" "src/CMakeFiles/cloudfog_social.dir/social/modularity.cpp.o.d"
+  "/root/repo/src/social/social_graph.cpp" "src/CMakeFiles/cloudfog_social.dir/social/social_graph.cpp.o" "gcc" "src/CMakeFiles/cloudfog_social.dir/social/social_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_social.dir/social/community_partitioner.cpp.o"
+  "CMakeFiles/cloudfog_social.dir/social/community_partitioner.cpp.o.d"
+  "CMakeFiles/cloudfog_social.dir/social/friendship_tracker.cpp.o"
+  "CMakeFiles/cloudfog_social.dir/social/friendship_tracker.cpp.o.d"
+  "CMakeFiles/cloudfog_social.dir/social/modularity.cpp.o"
+  "CMakeFiles/cloudfog_social.dir/social/modularity.cpp.o.d"
+  "CMakeFiles/cloudfog_social.dir/social/social_graph.cpp.o"
+  "CMakeFiles/cloudfog_social.dir/social/social_graph.cpp.o.d"
+  "libcloudfog_social.a"
+  "libcloudfog_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

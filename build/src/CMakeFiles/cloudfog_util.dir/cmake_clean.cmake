@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_util.dir/util/cli.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/util/distributions.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/util/distributions.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/util/stats.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/util/table.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/util/table.cpp.o.d"
+  "libcloudfog_util.a"
+  "libcloudfog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

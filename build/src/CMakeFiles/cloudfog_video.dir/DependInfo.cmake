@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/continuity.cpp" "src/CMakeFiles/cloudfog_video.dir/video/continuity.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/continuity.cpp.o.d"
+  "/root/repo/src/video/packet_stream.cpp" "src/CMakeFiles/cloudfog_video.dir/video/packet_stream.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/packet_stream.cpp.o.d"
+  "/root/repo/src/video/playback_buffer.cpp" "src/CMakeFiles/cloudfog_video.dir/video/playback_buffer.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/playback_buffer.cpp.o.d"
+  "/root/repo/src/video/qoe.cpp" "src/CMakeFiles/cloudfog_video.dir/video/qoe.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/qoe.cpp.o.d"
+  "/root/repo/src/video/rate_adapter.cpp" "src/CMakeFiles/cloudfog_video.dir/video/rate_adapter.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/rate_adapter.cpp.o.d"
+  "/root/repo/src/video/segment.cpp" "src/CMakeFiles/cloudfog_video.dir/video/segment.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/segment.cpp.o.d"
+  "/root/repo/src/video/stream_session.cpp" "src/CMakeFiles/cloudfog_video.dir/video/stream_session.cpp.o" "gcc" "src/CMakeFiles/cloudfog_video.dir/video/stream_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

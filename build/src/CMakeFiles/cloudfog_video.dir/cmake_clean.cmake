@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_video.dir/video/continuity.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/continuity.cpp.o.d"
+  "CMakeFiles/cloudfog_video.dir/video/packet_stream.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/packet_stream.cpp.o.d"
+  "CMakeFiles/cloudfog_video.dir/video/playback_buffer.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/playback_buffer.cpp.o.d"
+  "CMakeFiles/cloudfog_video.dir/video/qoe.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/qoe.cpp.o.d"
+  "CMakeFiles/cloudfog_video.dir/video/rate_adapter.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/rate_adapter.cpp.o.d"
+  "CMakeFiles/cloudfog_video.dir/video/segment.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/segment.cpp.o.d"
+  "CMakeFiles/cloudfog_video.dir/video/stream_session.cpp.o"
+  "CMakeFiles/cloudfog_video.dir/video/stream_session.cpp.o.d"
+  "libcloudfog_video.a"
+  "libcloudfog_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

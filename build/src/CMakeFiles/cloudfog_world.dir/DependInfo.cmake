@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/kdtree_partition.cpp" "src/CMakeFiles/cloudfog_world.dir/world/kdtree_partition.cpp.o" "gcc" "src/CMakeFiles/cloudfog_world.dir/world/kdtree_partition.cpp.o.d"
+  "/root/repo/src/world/state_engine.cpp" "src/CMakeFiles/cloudfog_world.dir/world/state_engine.cpp.o" "gcc" "src/CMakeFiles/cloudfog_world.dir/world/state_engine.cpp.o.d"
+  "/root/repo/src/world/virtual_world.cpp" "src/CMakeFiles/cloudfog_world.dir/world/virtual_world.cpp.o" "gcc" "src/CMakeFiles/cloudfog_world.dir/world/virtual_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

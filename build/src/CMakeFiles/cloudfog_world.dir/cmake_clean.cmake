@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_world.dir/world/kdtree_partition.cpp.o"
+  "CMakeFiles/cloudfog_world.dir/world/kdtree_partition.cpp.o.d"
+  "CMakeFiles/cloudfog_world.dir/world/state_engine.cpp.o"
+  "CMakeFiles/cloudfog_world.dir/world/state_engine.cpp.o.d"
+  "CMakeFiles/cloudfog_world.dir/world/virtual_world.cpp.o"
+  "CMakeFiles/cloudfog_world.dir/world/virtual_world.cpp.o.d"
+  "libcloudfog_world.a"
+  "libcloudfog_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudfog_world.a"
+)

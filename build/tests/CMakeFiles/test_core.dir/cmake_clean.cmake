@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cloud_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cloud_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fog_manager_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fog_manager_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/provisioner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/provisioner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/qos_engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/qos_engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/system_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/system_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/system_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/system_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/testbed_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/testbed_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_economics.dir/economics/contributor_market_test.cpp.o"
+  "CMakeFiles/test_economics.dir/economics/contributor_market_test.cpp.o.d"
+  "CMakeFiles/test_economics.dir/economics/cost_model_test.cpp.o"
+  "CMakeFiles/test_economics.dir/economics/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_economics.dir/economics/incentives_test.cpp.o"
+  "CMakeFiles/test_economics.dir/economics/incentives_test.cpp.o.d"
+  "test_economics"
+  "test_economics.pdb"
+  "test_economics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast.dir/forecast/baselines_test.cpp.o"
+  "CMakeFiles/test_forecast.dir/forecast/baselines_test.cpp.o.d"
+  "CMakeFiles/test_forecast.dir/forecast/sarima_test.cpp.o"
+  "CMakeFiles/test_forecast.dir/forecast/sarima_test.cpp.o.d"
+  "CMakeFiles/test_forecast.dir/forecast/timeseries_test.cpp.o"
+  "CMakeFiles/test_forecast.dir/forecast/timeseries_test.cpp.o.d"
+  "test_forecast"
+  "test_forecast.pdb"
+  "test_forecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game.dir/game/activity_model_test.cpp.o"
+  "CMakeFiles/test_game.dir/game/activity_model_test.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/game_catalog_test.cpp.o"
+  "CMakeFiles/test_game.dir/game/game_catalog_test.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/quality_ladder_test.cpp.o"
+  "CMakeFiles/test_game.dir/game/quality_ladder_test.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/workload_test.cpp.o"
+  "CMakeFiles/test_game.dir/game/workload_test.cpp.o.d"
+  "test_game"
+  "test_game.pdb"
+  "test_game[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/experiment_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o.d"
+  "/root/repo/tests/integration/overlay_crossvalidation_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/overlay_crossvalidation_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/overlay_crossvalidation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_economics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/bandwidth_model_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/bandwidth_model_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/coordinates_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/coordinates_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/ip_locator_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/ip_locator_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/latency_model_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/latency_model_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/ping_trace_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/ping_trace_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/trace_io_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/trace_io_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/overlay/join_session_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/join_session_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/network_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/network_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/probe_monitor_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/probe_monitor_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/stream_channel_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/stream_channel_test.cpp.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+  "test_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

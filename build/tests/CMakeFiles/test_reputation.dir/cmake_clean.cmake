@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reputation.dir/reputation/reputation_store_test.cpp.o"
+  "CMakeFiles/test_reputation.dir/reputation/reputation_store_test.cpp.o.d"
+  "test_reputation"
+  "test_reputation.pdb"
+  "test_reputation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

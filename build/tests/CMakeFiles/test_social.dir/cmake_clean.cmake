@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_social.dir/social/community_partitioner_test.cpp.o"
+  "CMakeFiles/test_social.dir/social/community_partitioner_test.cpp.o.d"
+  "CMakeFiles/test_social.dir/social/friendship_tracker_test.cpp.o"
+  "CMakeFiles/test_social.dir/social/friendship_tracker_test.cpp.o.d"
+  "CMakeFiles/test_social.dir/social/modularity_test.cpp.o"
+  "CMakeFiles/test_social.dir/social/modularity_test.cpp.o.d"
+  "CMakeFiles/test_social.dir/social/social_graph_test.cpp.o"
+  "CMakeFiles/test_social.dir/social/social_graph_test.cpp.o.d"
+  "test_social"
+  "test_social.pdb"
+  "test_social[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

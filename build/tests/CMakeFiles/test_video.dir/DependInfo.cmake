@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/video/continuity_test.cpp" "tests/CMakeFiles/test_video.dir/video/continuity_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/continuity_test.cpp.o.d"
+  "/root/repo/tests/video/packet_stream_test.cpp" "tests/CMakeFiles/test_video.dir/video/packet_stream_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/packet_stream_test.cpp.o.d"
+  "/root/repo/tests/video/playback_buffer_test.cpp" "tests/CMakeFiles/test_video.dir/video/playback_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/playback_buffer_test.cpp.o.d"
+  "/root/repo/tests/video/qoe_test.cpp" "tests/CMakeFiles/test_video.dir/video/qoe_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/qoe_test.cpp.o.d"
+  "/root/repo/tests/video/rate_adapter_test.cpp" "tests/CMakeFiles/test_video.dir/video/rate_adapter_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/rate_adapter_test.cpp.o.d"
+  "/root/repo/tests/video/segment_test.cpp" "tests/CMakeFiles/test_video.dir/video/segment_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/segment_test.cpp.o.d"
+  "/root/repo/tests/video/stream_session_test.cpp" "tests/CMakeFiles/test_video.dir/video/stream_session_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/stream_session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudfog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_economics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

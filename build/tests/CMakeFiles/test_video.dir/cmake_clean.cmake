@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video.dir/video/continuity_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/continuity_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/packet_stream_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/packet_stream_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/playback_buffer_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/playback_buffer_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/qoe_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/qoe_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/rate_adapter_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/rate_adapter_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/segment_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/segment_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/stream_session_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/stream_session_test.cpp.o.d"
+  "test_video"
+  "test_video.pdb"
+  "test_video[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world.dir/world/kdtree_partition_test.cpp.o"
+  "CMakeFiles/test_world.dir/world/kdtree_partition_test.cpp.o.d"
+  "CMakeFiles/test_world.dir/world/state_engine_test.cpp.o"
+  "CMakeFiles/test_world.dir/world/state_engine_test.cpp.o.d"
+  "CMakeFiles/test_world.dir/world/virtual_world_test.cpp.o"
+  "CMakeFiles/test_world.dir/world/virtual_world_test.cpp.o.d"
+  "test_world"
+  "test_world.pdb"
+  "test_world[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
