@@ -1,19 +1,26 @@
 // Shared helpers for the figure-regeneration binaries.
 //
 // Every binary accepts optional arguments:
-//   --paper       run at the paper's full scale (28 cycles, 21 warm-up) —
-//                 slower, but the exact §4.1 schedule;
-//   --quick       minimal scale for smoke-testing;
-//   --csv         emit CSV instead of aligned tables (for plotting);
-//   --seed <n>    override the experiment seed.
+//   --paper              run at the paper's full scale (28 cycles, 21
+//                        warm-up) — slower, but the exact §4.1 schedule;
+//   --quick              minimal scale for smoke-testing;
+//   --csv                emit CSV instead of aligned tables (for plotting);
+//   --seed <n>           override the experiment seed;
+//   --trace <file>       stream the structured event trace as JSONL;
+//   --report-json <file> write the run report (metrics + counters +
+//                        phase profile) on exit;
+//   --obs-off            disable the observability recorder entirely.
 // Default is a reduced-but-faithful scale (6 cycles, 3 warm-up).
 #pragma once
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 namespace cloudfog::bench {
 
@@ -22,9 +29,66 @@ inline bool& csv_mode() {
   return mode;
 }
 
+/// Owns the trace sink and writes the run report when the process exits.
+/// Instantiated only after Recorder::global() (a Meyer's singleton), so its
+/// destructor runs before the recorder is torn down.
+class ObsSession {
+ public:
+  static ObsSession& instance() {
+    static ObsSession session;
+    return session;
+  }
+
+  void configure(std::string trace_path, std::string report_path) {
+    trace_path_ = std::move(trace_path);
+    report_path_ = std::move(report_path);
+    if (!trace_path_.empty()) {
+      trace_out_.open(trace_path_);
+      if (trace_out_) {
+        obs::Recorder::global().trace_buffer().set_sink(&trace_out_);
+      } else {
+        std::cerr << "warning: cannot open trace file " << trace_path_ << '\n';
+        trace_path_.clear();
+      }
+    }
+  }
+
+  ~ObsSession() { finalize(); }
+
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    auto& rec = obs::Recorder::global();
+    if (!trace_path_.empty()) {
+      rec.trace_buffer().flush();
+      rec.trace_buffer().set_sink(nullptr);
+      trace_out_.close();
+    }
+    if (!report_path_.empty()) {
+      std::ofstream os(report_path_);
+      if (os) {
+        obs::write_report_json(os, rec);
+      } else {
+        std::cerr << "warning: cannot open report file " << report_path_ << '\n';
+      }
+    }
+  }
+
+ private:
+  ObsSession() = default;
+
+  std::string trace_path_;
+  std::string report_path_;
+  std::ofstream trace_out_;
+  bool finalized_ = false;
+};
+
 inline core::ExperimentScale scale_from_args(int argc, char** argv,
                                              core::ExperimentScale fallback = {}) {
   core::ExperimentScale scale = fallback;
+  bool obs_off = false;
+  std::string trace_path;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper") == 0) {
       const auto seed = scale.seed;
@@ -38,8 +102,19 @@ inline core::ExperimentScale scale_from_args(int argc, char** argv,
       csv_mode() = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       scale.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-off") == 0) {
+      obs_off = true;
     }
   }
+  // Touch the recorder singleton before the session singleton so the
+  // session's destructor (flush + report) runs first at exit.
+  obs::Recorder::global().set_enabled(!obs_off);
+  ObsSession::instance().configure(obs_off ? std::string{} : trace_path,
+                                   obs_off ? std::string{} : report_path);
   return scale;
 }
 

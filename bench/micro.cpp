@@ -4,7 +4,11 @@
 // step and the SARIMA recursion.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "core/provisioner.hpp"
+#include "obs/obs.hpp"
 #include "forecast/sarima.hpp"
 #include "overlay/join_session.hpp"
 #include "reputation/reputation_store.hpp"
@@ -164,6 +168,90 @@ void BM_QoeMos(benchmark::State& state) {
 }
 BENCHMARK(BM_QoeMos);
 
+// Observability hot paths: the disabled gate must be near-free; the
+// enabled increments bound what instrumented code pays per event.
+void BM_ObsDisabledGate(benchmark::State& state) {
+  auto& rec = obs::Recorder::global();
+  const bool was = rec.enabled();
+  rec.set_enabled(false);
+  const auto id = rec.registry().counter("bench.obs.gate");
+  for (auto _ : state) {
+    if (rec.enabled()) rec.registry().add(id);
+    benchmark::DoNotOptimize(&rec);
+  }
+  rec.set_enabled(was);
+}
+BENCHMARK(BM_ObsDisabledGate);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  auto& rec = obs::Recorder::global();
+  const bool was = rec.enabled();
+  rec.set_enabled(true);
+  const auto id = rec.registry().counter("bench.obs.counter");
+  for (auto _ : state) {
+    if (rec.enabled()) rec.registry().add(id);
+  }
+  rec.set_enabled(was);
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  auto& rec = obs::Recorder::global();
+  const bool was = rec.enabled();
+  rec.set_enabled(true);
+  const auto id = rec.registry().histogram("bench.obs.hist", 0.0, 1000.0, 40);
+  double v = 0.0;
+  for (auto _ : state) {
+    rec.registry().observe(id, v);
+    v = v < 1000.0 ? v + 0.7 : 0.0;
+  }
+  rec.set_enabled(was);
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsTracePush(benchmark::State& state) {
+  auto& rec = obs::Recorder::global();
+  const bool was = rec.enabled();
+  rec.set_enabled(true);
+  double t = 0.0;
+  for (auto _ : state) {
+    rec.trace_at(t, obs::EventKind::kProbeSent, 1, 2, 3.0);
+    t += 1.0;
+  }
+  rec.trace_buffer().clear();
+  rec.set_enabled(was);
+}
+BENCHMARK(BM_ObsTracePush);
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  auto& rec = obs::Recorder::global();
+  const bool was = rec.enabled();
+  rec.set_enabled(true);
+  for (auto _ : state) {
+    CLOUDFOG_TIMED_SCOPE("bench.obs.scope");
+    benchmark::DoNotOptimize(&rec);
+  }
+  rec.set_enabled(was);
+}
+BENCHMARK(BM_ObsScopedTimer);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the repo-wide --obs-off
+// flag (the recorder is off in microbenchmarks either way — the *Obs*
+// benchmarks above opt in locally) before google-benchmark rejects it as
+// unrecognized.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-off") == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  cloudfog::obs::Recorder::global().set_enabled(false);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

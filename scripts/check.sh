@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 tests twice (plain and sanitized builds) plus a
+# bench smoke test that exercises the observability exports.
+#
+#   scripts/check.sh            everything
+#   scripts/check.sh --quick    plain tests + bench smoke only (no sanitizers)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ "$QUICK" -eq 0 ]; then
+  echo "== tier-1: ASan+UBSan build =="
+  cmake -B build-asan -S . -DENABLE_SANITIZERS=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "== bench smoke: observability exports =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./build/bench/bench_fig7_latency --quick \
+  --report-json "$SMOKE_DIR/report.json" \
+  --trace "$SMOKE_DIR/trace.jsonl" >/dev/null
+
+[ -s "$SMOKE_DIR/report.json" ] || { echo "report.json is empty" >&2; exit 1; }
+[ -s "$SMOKE_DIR/trace.jsonl" ] || { echo "trace.jsonl is empty" >&2; exit 1; }
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/report.json" "$SMOKE_DIR/trace.jsonl" <<'EOF'
+import json, sys
+report_path, trace_path = sys.argv[1], sys.argv[2]
+report = json.load(open(report_path))
+assert report["schema"].startswith("cloudfog.run_report/"), report["schema"]
+assert report["runs"], "no runs in report"
+assert len(report["counters"]) >= 5, "expected at least five counters"
+assert report["phases"], "no phase profile"
+last = float("-inf")
+n = 0
+with open(trace_path) as f:
+    for line in f:
+        t = json.loads(line)["t"]
+        assert t >= last, f"trace not monotone at line {n}"
+        last = t
+        n += 1
+assert n > 0, "empty trace"
+print(f"report OK ({len(report['runs'])} runs, {len(report['counters'])} counters); "
+      f"trace OK ({n} events, monotone)")
+EOF
+else
+  echo "python3 not found: skipping JSON schema validation"
+fi
+
+echo "all checks passed"

@@ -1,10 +1,40 @@
 #include "core/fog_manager.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::core {
+
+namespace {
+
+/// Interned metric handles for the §3.2 selection protocol.
+struct FogObs {
+  obs::CounterId probes_sent;
+  obs::CounterId probes_qualified;
+  obs::CounterId capacity_asks;
+  obs::CounterId claims_granted;
+  obs::CounterId cloud_fallbacks;
+  obs::HistogramId probe_rtt_ms;
+  FogObs() {
+    auto& reg = obs::Recorder::global().registry();
+    probes_sent = reg.counter("fog.probes_sent");
+    probes_qualified = reg.counter("fog.probes_qualified");
+    capacity_asks = reg.counter("fog.capacity_asks");
+    claims_granted = reg.counter("fog.claims_granted");
+    cloud_fallbacks = reg.counter("fog.cloud_fallbacks");
+    probe_rtt_ms = reg.histogram("fog.probe_rtt_ms", 0.0, 500.0, 50);
+  }
+};
+
+FogObs& fog_obs() {
+  static FogObs handles;
+  return handles;
+}
+
+}  // namespace
 
 FogManager::FogManager(FogManagerConfig cfg, const Cloud& cloud,
                        const net::LatencyModel& latency)
@@ -31,14 +61,29 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
   };
   std::vector<Probed> qualified;
   double slowest_probe = 0.0;
-  for (std::size_t idx : candidates) {
-    const SupernodeState& sn = fleet[idx];
-    if (!sn.deployed || sn.failed) continue;
-    const double rtt = latency_.rtt_ms(player.info.endpoint, sn.endpoint);
-    ++out.probes;
-    slowest_probe = std::max(slowest_probe, rtt);
-    if (rtt / 2.0 <= lmax_ms) {
-      qualified.push_back(Probed{idx, rtt, player.reputation.score(idx, current_day)});
+  auto& rec = obs::Recorder::global();
+  {
+    CLOUDFOG_TIMED_SCOPE("fog.probe");
+    for (std::size_t idx : candidates) {
+      const SupernodeState& sn = fleet[idx];
+      if (!sn.deployed || sn.failed) continue;
+      const double rtt = latency_.rtt_ms(player.info.endpoint, sn.endpoint);
+      ++out.probes;
+      slowest_probe = std::max(slowest_probe, rtt);
+      const bool within_lmax = rtt / 2.0 <= lmax_ms;
+      if (within_lmax) {
+        qualified.push_back(Probed{idx, rtt, player.reputation.score(idx, current_day)});
+      }
+      if (rec.enabled()) {
+        rec.registry().add(fog_obs().probes_sent);
+        rec.registry().observe(fog_obs().probe_rtt_ms, rtt);
+        rec.trace(obs::EventKind::kProbeSent, static_cast<std::int64_t>(player.info.id),
+                  static_cast<std::int64_t>(idx));
+        rec.trace(obs::EventKind::kProbeAnswered, static_cast<std::int64_t>(player.info.id),
+                  static_cast<std::int64_t>(idx), rtt,
+                  within_lmax ? "within_lmax" : "over_lmax");
+        if (within_lmax) rec.registry().add(fog_obs().probes_qualified);
+      }
     }
   }
   out.join_latency_ms += slowest_probe;
@@ -56,11 +101,19 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
     SupernodeState& sn = fleet[cand.index];
     ++out.capacity_asks;
     out.join_latency_ms += cand.rtt_ms;
-    if (sn.accepting()) {
+    const bool granted = sn.accepting();
+    if (rec.enabled()) {
+      rec.registry().add(fog_obs().capacity_asks);
+      rec.trace(obs::EventKind::kCapacityClaim, static_cast<std::int64_t>(player.info.id),
+                static_cast<std::int64_t>(cand.index), granted ? 1.0 : 0.0,
+                granted ? "granted" : "denied");
+    }
+    if (granted) {
       ++sn.served;
       player.serving = ServingRef{ServingKind::kSupernode, cand.index};
       out.serving = player.serving;
       out.join_latency_ms += cfg_.connect_setup_ms;
+      if (rec.enabled()) rec.registry().add(fog_obs().claims_granted);
       return out;
     }
   }
@@ -79,8 +132,11 @@ SelectionOutcome FogManager::select_supernode(PlayerState& player,
   const double cloud_rtt =
       latency_.rtt_ms(player.info.endpoint, cloud_.datacenter(dc).endpoint);
 
-  player.candidate_supernodes =
-      cloud_.candidate_supernodes(player.info.endpoint, fleet, cfg_.candidate_count);
+  {
+    CLOUDFOG_TIMED_SCOPE("fog.discovery");
+    player.candidate_supernodes =
+        cloud_.candidate_supernodes(player.info.endpoint, fleet, cfg_.candidate_count);
+  }
 
   const double lmax_ms = catalog.game(player.game).latency_requirement_ms *
                          cfg_.lmax_fraction_of_requirement;
@@ -93,6 +149,8 @@ SelectionOutcome FogManager::select_supernode(PlayerState& player,
     player.serving = ServingRef{ServingKind::kCloud, dc};
     out.serving = player.serving;
     out.join_latency_ms += cfg_.connect_setup_ms;
+    auto& rec = obs::Recorder::global();
+    if (rec.enabled()) rec.registry().add(fog_obs().cloud_fallbacks);
   }
   return out;
 }

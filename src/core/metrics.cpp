@@ -17,4 +17,63 @@ void MetricsCollector::record_subcycle(const SubcycleQos& qos, bool warmup) {
                                    static_cast<double>(qos.online_sessions));
 }
 
+namespace {
+
+obs::StatSummary stat_of(const char* name, const util::RunningStats& s) {
+  obs::StatSummary out;
+  out.name = name;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = s.min();
+  out.max = s.max();
+  out.has_percentiles = s.count() > 0;
+  if (out.has_percentiles) {
+    out.p50 = s.p50();
+    out.p95 = s.p95();
+    out.p99 = s.p99();
+  }
+  return out;
+}
+
+obs::StatSummary stat_of(const char* name, const util::SampleSet& s) {
+  obs::StatSummary out;
+  out.name = name;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.has_percentiles = !s.empty();
+  if (out.has_percentiles) {
+    out.min = s.percentile(0.0);
+    out.max = s.percentile(1.0);
+    out.p50 = s.p50();
+    out.p95 = s.p95();
+    out.p99 = s.p99();
+  }
+  return out;
+}
+
+}  // namespace
+
+obs::RunSummary summarize_run(const RunMetrics& m, std::string label,
+                              std::size_t measured_subcycles) {
+  obs::RunSummary run;
+  run.label = std::move(label);
+  run.measured_subcycles = measured_subcycles;
+  run.stats = {
+      stat_of("response_latency_ms", m.response_latency_ms),
+      stat_of("server_latency_ms", m.server_latency_ms),
+      stat_of("continuity", m.continuity),
+      stat_of("satisfied_fraction", m.satisfied_fraction),
+      stat_of("mos", m.mos),
+      stat_of("cloud_egress_mbps", m.cloud_egress_mbps),
+      stat_of("fog_served_fraction", m.fog_served_fraction),
+      stat_of("online_sessions", m.online_sessions),
+      stat_of("player_join_latency_ms", m.player_join_latency_ms),
+      stat_of("supernode_join_latency_ms", m.supernode_join_latency_ms),
+      stat_of("migration_latency_ms", m.migration_latency_ms),
+      stat_of("server_assignment_seconds", m.server_assignment_seconds),
+  };
+  return run;
+}
+
 }  // namespace cloudfog::core

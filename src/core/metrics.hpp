@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/qos_engine.hpp"
+#include "obs/recorder.hpp"
 #include "util/stats.hpp"
 
 namespace cloudfog::core {
@@ -52,5 +54,11 @@ class MetricsCollector {
   RunMetrics metrics_;
   std::size_t recorded_subcycles_ = 0;
 };
+
+/// Flattens a run's metrics into the observability run-report form: every
+/// RunningStats aggregate with P² percentiles, every SampleSet with exact
+/// percentiles.
+obs::RunSummary summarize_run(const RunMetrics& metrics, std::string label,
+                              std::size_t measured_subcycles);
 
 }  // namespace cloudfog::core

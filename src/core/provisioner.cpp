@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::core {
@@ -15,12 +16,18 @@ Provisioner::Provisioner(ProvisionerConfig cfg) : cfg_(cfg), model_(cfg.sarima) 
 
 void Provisioner::observe_window(double online_players) {
   CLOUDFOG_REQUIRE(online_players >= 0.0, "negative player count");
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    static const obs::CounterId windows = rec.registry().counter("provision.windows");
+    rec.registry().add(windows);
+  }
   // Log-space models need positive values; an empty system still counts
   // as (almost) nobody online.
   model_.observe(std::max(online_players, 1.0));
 }
 
 double Provisioner::forecast_players() const {
+  CLOUDFOG_TIMED_SCOPE("provision.forecast");
   return model_.forecast_next().value_or(0.0);
 }
 
@@ -32,6 +39,7 @@ std::size_t Provisioner::supernodes_needed(double mean_capacity) const {
 
 std::size_t Provisioner::deploy(std::vector<SupernodeState>& fleet, std::size_t wanted,
                                 util::Rng& rng) const {
+  CLOUDFOG_TIMED_SCOPE("provision.deploy");
   // Rank candidates by last window's supported players, descending
   // (stable on id for determinism).
   std::vector<std::size_t> ranked;

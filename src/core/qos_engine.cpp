@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "video/continuity.hpp"
 
@@ -115,6 +116,7 @@ double QosEngine::unloaded_response_latency_ms(const PlayerState& player,
 SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
                                     std::vector<SupernodeState>& fleet, Cloud& cloud,
                                     std::vector<CdnServerState>& cdn) const {
+  CLOUDFOG_TIMED_SCOPE("qos.subcycle");
   SubcycleQos out;
 
   // Per-player accumulators across substeps.
@@ -174,6 +176,7 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
     egress_sum_mbps += egress_kbps / 1000.0;
 
     // Pass 2: per-session path observation.
+    CLOUDFOG_TIMED_SCOPE("qos.rate_adapt");
     for (std::size_t i = 0; i < players.size(); ++i) {
       PlayerState& player = players[i];
       if (!player.online || !player.session.has_value()) continue;

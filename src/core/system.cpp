@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/distributions.hpp"
 #include "util/require.hpp"
 
@@ -19,6 +22,50 @@ social::PartitionerConfig partitioner_config(const SystemConfig& cfg, int total_
   pc.max_swap_trials = cfg.partitioner_swap_trials;
   pc.max_consecutive_miss = cfg.partitioner_miss_limit;
   return pc;
+}
+
+/// Interned metric handles for the system layer; resolved once per process.
+struct SystemObs {
+  obs::CounterId player_joins;
+  obs::CounterId player_leaves;
+  obs::CounterId migrations;
+  obs::CounterId supernode_failures;
+  obs::CounterId cloud_rescues;
+  obs::CounterId provisioning_rounds;
+  obs::GaugeId online;
+  obs::GaugeId deployed;
+  obs::HistogramId join_ms;
+  obs::HistogramId migration_ms;
+  SystemObs() {
+    auto& reg = obs::Recorder::global().registry();
+    player_joins = reg.counter("system.player_joins");
+    player_leaves = reg.counter("system.player_leaves");
+    migrations = reg.counter("system.migrations");
+    supernode_failures = reg.counter("system.supernode_failures");
+    cloud_rescues = reg.counter("system.cloud_rescues");
+    provisioning_rounds = reg.counter("system.provisioning_rounds");
+    online = reg.gauge("system.online_sessions");
+    deployed = reg.gauge("system.deployed_supernodes");
+    join_ms = reg.histogram("system.player_join_ms", 0.0, 2000.0, 40);
+    migration_ms = reg.histogram("system.migration_ms", 0.0, 2000.0, 40);
+  }
+};
+
+SystemObs& sys_obs() {
+  static SystemObs handles;
+  return handles;
+}
+
+const char* arm_label(const SystemConfig& cfg) {
+  switch (cfg.architecture) {
+    case Architecture::kCloudDirect:
+      return "cloud";
+    case Architecture::kCdn:
+      return "cdn";
+    case Architecture::kCloudFog:
+      return cfg.strategies.provisioning ? "cloudfog/A" : "cloudfog/B";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -172,13 +219,14 @@ void System::begin_cycle(int day) {
 }
 
 void System::attach_player(PlayerState& p, int day) {
+  double join_ms = 0.0;
   switch (cfg_.architecture) {
     case Architecture::kCloudDirect: {
       p.serving = ServingRef{ServingKind::kCloud, p.state_dc};
-      const double join = testbed_.latency().rtt_ms(p.info.endpoint,
-                                                    cloud_.datacenter(p.state_dc).endpoint) +
-                          cfg_.fog.connect_setup_ms;
-      collector_.record_player_join(join);
+      join_ms = testbed_.latency().rtt_ms(p.info.endpoint,
+                                          cloud_.datacenter(p.state_dc).endpoint) +
+                cfg_.fog.connect_setup_ms;
+      collector_.record_player_join(join_ms);
       break;
     }
     case Architecture::kCdn: {
@@ -196,25 +244,35 @@ void System::attach_player(PlayerState& p, int day) {
       if (best < cdn_.size()) {
         ++cdn_[best].served;
         p.serving = ServingRef{ServingKind::kCdn, best};
-        collector_.record_player_join(best_rtt + cfg_.fog.connect_setup_ms);
+        join_ms = best_rtt + cfg_.fog.connect_setup_ms;
       } else {
         p.serving = ServingRef{ServingKind::kCloud, p.state_dc};
-        collector_.record_player_join(
+        join_ms =
             testbed_.latency().rtt_ms(p.info.endpoint, cloud_.datacenter(p.state_dc).endpoint) +
-            cfg_.fog.connect_setup_ms);
+            cfg_.fog.connect_setup_ms;
       }
+      collector_.record_player_join(join_ms);
       break;
     }
     case Architecture::kCloudFog: {
       util::Rng sel_rng = rng_.fork("select");
       const auto outcome = fog_.select_supernode(p, fleet_, testbed_.catalog(), day,
                                                  cfg_.strategies.reputation, sel_rng);
-      collector_.record_player_join(outcome.join_latency_ms);
+      join_ms = outcome.join_latency_ms;
+      collector_.record_player_join(join_ms);
       if (p.serving.kind == ServingKind::kSupernode) {
         p.rated_supernode_this_cycle = p.serving.index;
       }
       break;
     }
+  }
+
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    rec.registry().add(sys_obs().player_joins);
+    rec.registry().observe(sys_obs().join_ms, join_ms);
+    rec.trace(obs::EventKind::kPlayerJoin, static_cast<std::int64_t>(p.info.id),
+              p.serving.attached() ? static_cast<std::int64_t>(p.serving.index) : -1, join_ms);
   }
 
   p.session.emplace(testbed_.catalog(), p.game, cfg_.adapter, rng_.fork("adapter"));
@@ -232,6 +290,12 @@ void System::detach_player(PlayerState& p) {
   }
   p.session.reset();
   p.online = false;
+
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    rec.registry().add(sys_obs().player_leaves);
+    rec.trace(obs::EventKind::kPlayerLeave, static_cast<std::int64_t>(p.info.id));
+  }
 }
 
 void System::process_population(int day, int subcycle, bool peak) {
@@ -294,6 +358,8 @@ void System::retry_cloud_fallback(PlayerState& p, int day) {
                                              cfg_.strategies.reputation, retry_rng);
   if (outcome.serving.kind == ServingKind::kSupernode) {
     p.rated_supernode_this_cycle = outcome.serving.index;
+    auto& rec = obs::Recorder::global();
+    if (rec.enabled()) rec.registry().add(sys_obs().cloud_rescues);
   }
   // select_supernode re-attaches to the cloud itself on failure.
 }
@@ -335,6 +401,8 @@ void System::maybe_run_provisioning(int day, int subcycle) {
       (day - 1) * testbed_.activity().config().subcycles_per_day + (subcycle - 1);
   if ((global_subcycle + 1) % window != 0) return;
 
+  CLOUDFOG_TIMED_SCOPE("provisioning");
+
   // Window closed: feed the mean online population, refresh supernode
   // popularity ranks, and redeploy for the forecast next window.
   provisioner_.observe_window(window_online_sum_ / std::max(1, window_subcycles_));
@@ -350,6 +418,18 @@ void System::maybe_run_provisioning(int day, int subcycle) {
   util::Rng deploy_rng = rng_.fork("deploy");
   provisioner_.deploy(fleet_, wanted, deploy_rng);
   migrate_players_off_undeployed(day);
+
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    std::size_t deployed_count = 0;
+    for (const auto& sn : fleet_) {
+      if (sn.deployed) ++deployed_count;
+    }
+    rec.registry().add(sys_obs().provisioning_rounds);
+    rec.registry().set(sys_obs().deployed, static_cast<double>(deployed_count));
+    rec.trace(obs::EventKind::kProvisioning, day, subcycle,
+              static_cast<double>(deployed_count), "wanted=" + std::to_string(wanted));
+  }
 }
 
 void System::migrate_players_off_undeployed(int day) {
@@ -366,15 +446,37 @@ void System::migrate_players_off_undeployed(int day) {
     if (p.serving.kind == ServingKind::kSupernode) {
       p.rated_supernode_this_cycle = p.serving.index;
     }
+    auto& rec = obs::Recorder::global();
+    if (rec.enabled()) {
+      rec.registry().add(sys_obs().migrations);
+      rec.trace(obs::EventKind::kMigration, static_cast<std::int64_t>(p.info.id),
+                p.serving.attached() ? static_cast<std::int64_t>(p.serving.index) : -1);
+    }
   }
 }
 
 SubcycleQos System::run_subcycle(int day, int subcycle, bool warmup, bool peak) {
-  process_population(day, subcycle, peak);
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    const int per_day = testbed_.activity().config().subcycles_per_day;
+    rec.set_sim_time(((day - 1) * per_day + (subcycle - 1)) * 3600.0);
+  }
+  {
+    CLOUDFOG_TIMED_SCOPE("population");
+    process_population(day, subcycle, peak);
+  }
   maybe_run_provisioning(day, subcycle);
-  update_cross_server_latency();
+  {
+    CLOUDFOG_TIMED_SCOPE("social.cross_server");
+    update_cross_server_latency();
+  }
   const SubcycleQos qos = qos_.run_subcycle(players_, fleet_, cloud_, cdn_);
   collector_.record_subcycle(qos, warmup);
+  if (rec.enabled()) {
+    rec.registry().set(sys_obs().online, static_cast<double>(qos.online_sessions));
+    rec.trace(obs::EventKind::kSubcycle, day, subcycle,
+              static_cast<double>(qos.online_sessions));
+  }
   return qos;
 }
 
@@ -410,6 +512,9 @@ void System::end_cycle(int day) {
 }
 
 const RunMetrics& System::run(const sim::CycleConfig& cycles) {
+  auto& rec = obs::Recorder::global();
+  const char* label = arm_label(cfg_);
+  if (rec.enabled()) rec.begin_run(label);
   for (int day = 1; day <= cycles.total_cycles; ++day) {
     const bool warmup = day <= cycles.warmup_cycles;
     begin_cycle(day);
@@ -418,6 +523,10 @@ const RunMetrics& System::run(const sim::CycleConfig& cycles) {
       run_subcycle(day, sub, warmup, peak);
     }
     end_cycle(day);
+  }
+  if (rec.enabled()) {
+    rec.add_run_summary(
+        summarize_run(collector_.metrics(), label, collector_.recorded_subcycles()));
   }
   return collector_.metrics();
 }
@@ -433,7 +542,15 @@ std::vector<double> System::inject_supernode_failures(std::size_t count, int day
   util::Rng fail_rng = rng_.fork("failures");
   std::shuffle(candidates.begin(), candidates.end(), fail_rng);
   candidates.resize(std::min(count, candidates.size()));
-  for (std::size_t idx : candidates) fleet_[idx].failed = true;
+  auto& rec = obs::Recorder::global();
+  for (std::size_t idx : candidates) {
+    fleet_[idx].failed = true;
+    if (rec.enabled()) {
+      rec.registry().add(sys_obs().supernode_failures);
+      rec.trace(obs::EventKind::kSupernodeChurn, static_cast<std::int64_t>(idx),
+                static_cast<std::int64_t>(day));
+    }
+  }
 
   std::vector<double> migration_latencies;
   for (auto& p : players_) {
@@ -455,6 +572,13 @@ std::vector<double> System::inject_supernode_failures(std::size_t count, int day
     }
     migration_latencies.push_back(outcome.join_latency_ms);
     collector_.record_migration(outcome.join_latency_ms);
+    if (rec.enabled()) {
+      rec.registry().add(sys_obs().migrations);
+      rec.registry().observe(sys_obs().migration_ms, outcome.join_latency_ms);
+      rec.trace(obs::EventKind::kMigration, static_cast<std::int64_t>(p.info.id),
+                p.serving.attached() ? static_cast<std::int64_t>(p.serving.index) : -1,
+                outcome.join_latency_ms);
+    }
   }
   return migration_latencies;
 }

@@ -1,0 +1,7 @@
+// Umbrella header for the observability subsystem: the global Recorder
+// (counters / gauges / histograms, structured trace, phase profiling via
+// CLOUDFOG_TIMED_SCOPE) and the JSON run-report exporter.
+#pragma once
+
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"

@@ -1,0 +1,64 @@
+#include "obs/phase_profiler.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace cloudfog::obs {
+
+double PhaseProfiler::PhaseStats::mean_us() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(total_ns) / static_cast<double>(count) / 1e3;
+}
+
+double PhaseProfiler::PhaseStats::per_second() const {
+  return total_ns == 0 ? 0.0
+                       : static_cast<double>(count) / (static_cast<double>(total_ns) / 1e9);
+}
+
+PhaseId PhaseProfiler::phase(std::string_view name) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) return PhaseId{static_cast<std::uint32_t>(i)};
+  }
+  PhaseStats stats;
+  stats.name = std::string(name);
+  phases_.push_back(std::move(stats));
+  return PhaseId{static_cast<std::uint32_t>(phases_.size() - 1)};
+}
+
+std::size_t PhaseProfiler::bucket_for(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  const auto bucket = static_cast<std::size_t>(std::bit_width(ns) - 1);
+  return std::min(bucket, kBuckets - 1);
+}
+
+void PhaseProfiler::record(PhaseId id, std::uint64_t ns) {
+  PhaseStats& s = phases_[id.index];
+  if (s.count == 0) {
+    s.min_ns = s.max_ns = ns;
+  } else {
+    s.min_ns = std::min(s.min_ns, ns);
+    s.max_ns = std::max(s.max_ns, ns);
+  }
+  ++s.count;
+  s.total_ns += ns;
+  ++s.log2_ns_buckets[bucket_for(ns)];
+}
+
+const PhaseProfiler::PhaseStats* PhaseProfiler::find(std::string_view name) const {
+  for (const auto& s : phases_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void PhaseProfiler::reset_values() {
+  for (auto& s : phases_) {
+    s.count = 0;
+    s.total_ns = 0;
+    s.min_ns = 0;
+    s.max_ns = 0;
+    std::fill(s.log2_ns_buckets.begin(), s.log2_ns_buckets.end(), 0);
+  }
+}
+
+}  // namespace cloudfog::obs

@@ -1,0 +1,145 @@
+// The process-wide observability context: one Registry, one TraceBuffer,
+// one PhaseProfiler, plus the run-summary list that the report exporter
+// serializes.
+//
+// Everything is gated on a single `enabled()` flag, default OFF, so
+// instrumented hot paths cost one predictable branch unless a harness
+// opts in (bench_common enables it unless --obs-off). The simulator is
+// single-threaded; so is the recorder.
+//
+// Timestamps: components report sim time through set_sim_time() (the
+// domain clock of the current run); trace events are stamped with
+// base + sim_time, clamped to be monotonically non-decreasing across the
+// whole process — begin_run() re-bases the clock so that consecutive runs
+// (each restarting its own sim clock at zero) still produce a monotone
+// trace file.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/phase_profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace cloudfog::obs {
+
+/// One named statistic of a finished run (mirrors util::RunningStats /
+/// util::SampleSet without depending on them).
+struct StatSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool has_percentiles = false;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Metrics of one completed System run, as reported by the run owner.
+struct RunSummary {
+  std::string label;
+  std::uint64_t measured_subcycles = 0;
+  std::vector<StatSummary> stats;
+};
+
+class Recorder {
+ public:
+  static Recorder& global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  PhaseProfiler& profiler() { return profiler_; }
+  const PhaseProfiler& profiler() const { return profiler_; }
+  TraceBuffer& trace_buffer() { return trace_; }
+  const TraceBuffer& trace_buffer() const { return trace_; }
+
+  /// Domain clock of the current run, in seconds.
+  void set_sim_time(double t) { sim_time_ = t; }
+  double sim_time() const { return sim_time_; }
+
+  /// Monotone trace clock: base + sim time, never going backwards.
+  double now() const;
+
+  /// Stamps and buffers a trace event (no-op while disabled).
+  void trace(EventKind kind, std::int64_t subject = -1, std::int64_t object = -1,
+             double value = 0.0, std::string note = {});
+
+  /// Like trace(), but with an explicit domain timestamp in seconds
+  /// (event-driven overlay components own their own sim clock).
+  void trace_at(double t_seconds, EventKind kind, std::int64_t subject = -1,
+                std::int64_t object = -1, double value = 0.0, std::string note = {});
+
+  /// Marks the start of a run: re-bases the trace clock past everything
+  /// emitted so far and (when enabled) emits a kRunStart event.
+  void begin_run(std::string label);
+
+  void add_run_summary(RunSummary summary);
+  const std::vector<RunSummary>& runs() const { return runs_; }
+
+  /// Resets values, trace and runs (names/handles survive). Test helper.
+  void reset();
+
+ private:
+  Recorder() = default;
+
+  bool enabled_ = false;
+  Registry registry_;
+  PhaseProfiler profiler_;
+  TraceBuffer trace_;
+  std::vector<RunSummary> runs_;
+  double sim_time_ = 0.0;
+  double base_time_ = 0.0;
+  mutable double last_emitted_ = 0.0;
+};
+
+/// RAII wall-clock timer for a profiled phase. Reads the clock only while
+/// the recorder is enabled; a disabled recorder costs one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseId id) {
+    if (Recorder::global().enabled()) {
+      id_ = id;
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      Recorder::global().profiler().record(id_, static_cast<std::uint64_t>(ns));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  PhaseId id_{};
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace cloudfog::obs
+
+// Profiles the enclosing scope under `name`. The phase id is interned once
+// (function-local static); the timer itself only reads the clock while
+// observability is enabled.
+#define CLOUDFOG_OBS_CONCAT2(a, b) a##b
+#define CLOUDFOG_OBS_CONCAT(a, b) CLOUDFOG_OBS_CONCAT2(a, b)
+#define CLOUDFOG_TIMED_SCOPE(name)                                                   \
+  static const ::cloudfog::obs::PhaseId CLOUDFOG_OBS_CONCAT(cf_obs_phase_,           \
+                                                            __LINE__) =              \
+      ::cloudfog::obs::Recorder::global().profiler().phase(name);                    \
+  const ::cloudfog::obs::ScopedTimer CLOUDFOG_OBS_CONCAT(cf_obs_timer_, __LINE__)(   \
+      CLOUDFOG_OBS_CONCAT(cf_obs_phase_, __LINE__))

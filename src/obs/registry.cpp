@@ -1,0 +1,122 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::obs {
+
+RegistrySnapshot RegistrySnapshot::delta_since(const RegistrySnapshot& earlier) const {
+  RegistrySnapshot out = *this;
+  for (std::size_t i = 0; i < out.counters.size() && i < earlier.counters.size(); ++i) {
+    out.counters[i] -= std::min(earlier.counters[i], out.counters[i]);
+  }
+  for (std::size_t h = 0; h < out.histogram_counts.size() && h < earlier.histogram_counts.size();
+       ++h) {
+    auto& bins = out.histogram_counts[h];
+    const auto& old_bins = earlier.histogram_counts[h];
+    for (std::size_t b = 0; b < bins.size() && b < old_bins.size(); ++b) {
+      bins[b] -= std::min(old_bins[b], bins[b]);
+    }
+  }
+  return out;
+}
+
+template <typename Id>
+Id Registry::intern(std::string_view name, std::vector<std::string>& names) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return Id{static_cast<std::uint32_t>(i)};
+  }
+  names.emplace_back(name);
+  return Id{static_cast<std::uint32_t>(names.size() - 1)};
+}
+
+CounterId Registry::counter(std::string_view name) {
+  const CounterId id = intern<CounterId>(name, counter_names_);
+  counters_.resize(counter_names_.size(), 0);
+  return id;
+}
+
+GaugeId Registry::gauge(std::string_view name) {
+  const GaugeId id = intern<GaugeId>(name, gauge_names_);
+  gauges_.resize(gauge_names_.size(), 0.0);
+  return id;
+}
+
+HistogramId Registry::histogram(std::string_view name, double lo, double hi,
+                                std::size_t bins) {
+  CLOUDFOG_REQUIRE(hi > lo, "histogram range inverted");
+  CLOUDFOG_REQUIRE(bins > 0, "histogram needs at least one bin");
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return HistogramId{static_cast<std::uint32_t>(i)};
+  }
+  HistogramCell cell;
+  cell.name = std::string(name);
+  cell.lo = lo;
+  cell.hi = hi;
+  cell.counts.assign(bins, 0);
+  histograms_.push_back(std::move(cell));
+  return HistogramId{static_cast<std::uint32_t>(histograms_.size() - 1)};
+}
+
+void Registry::observe(HistogramId id, double x) {
+  HistogramCell& cell = histograms_[id.index];
+  const double width =
+      (cell.hi - cell.lo) / static_cast<double>(cell.counts.size());
+  auto bin = static_cast<std::ptrdiff_t>((x - cell.lo) / width);
+  if (bin < 0) {
+    bin = 0;
+    ++cell.underflow;
+  } else if (bin >= static_cast<std::ptrdiff_t>(cell.counts.size())) {
+    bin = static_cast<std::ptrdiff_t>(cell.counts.size()) - 1;
+    ++cell.overflow;
+  }
+  ++cell.counts[static_cast<std::size_t>(bin)];
+  ++cell.total;
+}
+
+double Registry::HistogramCell::bin_low(std::size_t bin) const {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return lo + width * static_cast<double>(bin);
+}
+
+double Registry::HistogramCell::bin_high(std::size_t bin) const {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return lo + width * static_cast<double>(bin + 1);
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return counters_[i];
+  }
+  return 0;
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) return gauges_[i];
+  }
+  return 0.0;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  snap.histogram_counts.reserve(histograms_.size());
+  for (const auto& cell : histograms_) snap.histogram_counts.push_back(cell.counts);
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+  for (auto& cell : histograms_) {
+    std::fill(cell.counts.begin(), cell.counts.end(), 0);
+    cell.total = 0;
+    cell.underflow = 0;
+    cell.overflow = 0;
+  }
+}
+
+}  // namespace cloudfog::obs

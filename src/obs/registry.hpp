@@ -1,0 +1,100 @@
+// Named counters, gauges and fixed-bucket histograms with handle-based
+// (index) access, so the hot path pays one array increment per update and
+// a name lookup only once, at registration.
+//
+// The registry also supports whole-registry snapshots and snapshot deltas,
+// which is how per-subcycle metric rates are derived from cumulative
+// counters (snapshot at subcycle boundaries, subtract).
+//
+// Single-threaded by design, like the simulator it observes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudfog::obs {
+
+struct CounterId {
+  std::uint32_t index = 0;
+};
+struct GaugeId {
+  std::uint32_t index = 0;
+};
+struct HistogramId {
+  std::uint32_t index = 0;
+};
+
+/// Point-in-time copy of every metric value (names live in the Registry).
+struct RegistrySnapshot {
+  std::vector<std::uint64_t> counters;
+  std::vector<double> gauges;
+  std::vector<std::vector<std::uint64_t>> histogram_counts;
+
+  /// Counter/histogram increments since `earlier` (gauges keep the current
+  /// value — deltas of instantaneous readings are meaningless). `earlier`
+  /// may be older and therefore smaller: metrics registered in between
+  /// count from zero.
+  RegistrySnapshot delta_since(const RegistrySnapshot& earlier) const;
+};
+
+class Registry {
+ public:
+  /// Registration is idempotent: the same name always returns the same
+  /// handle. A histogram re-registered with different bounds keeps the
+  /// original bounds (first registration wins).
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  HistogramId histogram(std::string_view name, double lo, double hi, std::size_t bins);
+
+  void add(CounterId id, std::uint64_t n = 1) { counters_[id.index] += n; }
+  void set(GaugeId id, double v) { gauges_[id.index] = v; }
+  void observe(HistogramId id, double x);
+
+  std::uint64_t counter_value(CounterId id) const { return counters_[id.index]; }
+  double gauge_value(GaugeId id) const { return gauges_[id.index]; }
+
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t gauge_count() const { return gauges_.size(); }
+  std::size_t histogram_count() const { return histograms_.size(); }
+
+  const std::string& counter_name(std::size_t i) const { return counter_names_[i]; }
+  const std::string& gauge_name(std::size_t i) const { return gauge_names_[i]; }
+
+  struct HistogramCell {
+    std::string name;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t underflow = 0;  ///< samples below lo (clamped to bin 0)
+    std::uint64_t overflow = 0;   ///< samples at/above hi (clamped to last bin)
+
+    double bin_low(std::size_t bin) const;
+    double bin_high(std::size_t bin) const;
+  };
+  const HistogramCell& histogram_cell(std::size_t i) const { return histograms_[i]; }
+
+  /// Value of a counter by name; 0 if never registered (test convenience).
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes every value; names and handles stay valid.
+  void reset_values();
+
+ private:
+  template <typename Id>
+  static Id intern(std::string_view name, std::vector<std::string>& names);
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<std::string> gauge_names_;
+  std::vector<double> gauges_;
+  std::vector<HistogramCell> histograms_;
+};
+
+}  // namespace cloudfog::obs

@@ -1,0 +1,18 @@
+// Run report exporter: serializes everything the recorder accumulated —
+// run summaries (with percentiles), counters, gauges, histograms, the
+// per-phase wall-clock profile and trace statistics — into one JSON
+// document. Schema documented in DESIGN.md §Observability.
+#pragma once
+
+#include <ostream>
+
+#include "obs/recorder.hpp"
+
+namespace cloudfog::obs {
+
+/// Report schema identifier, bumped on breaking changes.
+inline constexpr const char* kReportSchema = "cloudfog.run_report/1";
+
+void write_report_json(std::ostream& os, const Recorder& recorder);
+
+}  // namespace cloudfog::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRunStart: return "run_start";
+    case EventKind::kSubcycle: return "subcycle";
+    case EventKind::kPlayerJoin: return "player_join";
+    case EventKind::kPlayerLeave: return "player_leave";
+    case EventKind::kSupernodeJoin: return "supernode_join";
+    case EventKind::kSupernodeChurn: return "supernode_churn";
+    case EventKind::kProbeSent: return "probe_sent";
+    case EventKind::kProbeAnswered: return "probe_answered";
+    case EventKind::kCapacityClaim: return "capacity_claim";
+    case EventKind::kMigration: return "migration";
+    case EventKind::kRateSwitch: return "rate_switch";
+    case EventKind::kProvisioning: return "provisioning";
+    case EventKind::kRating: return "rating";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceBuffer::push(TraceEvent event) {
+  ++total_pushed_;
+  if (size_ == ring_.size()) {
+    if (sink_ != nullptr) {
+      flush();
+    } else {
+      // Overwrite the oldest event.
+      ring_[head_] = std::move(event);
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+      return;
+    }
+  }
+  ring_[(head_ + size_) % ring_.size()] = std::move(event);
+  ++size_;
+}
+
+void TraceBuffer::set_sink(std::ostream* sink) {
+  sink_ = sink;
+  if (sink_ != nullptr) flush();
+}
+
+void TraceBuffer::flush() {
+  if (sink_ != nullptr) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      write_jsonl(*sink_, ring_[(head_ + i) % ring_.size()]);
+      ++total_sunk_;
+    }
+  }
+  head_ = 0;
+  size_ = 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void TraceBuffer::clear() {
+  head_ = 0;
+  size_ = 0;
+  total_pushed_ = 0;
+  total_sunk_ = 0;
+  dropped_ = 0;
+}
+
+void TraceBuffer::write_jsonl(std::ostream& os, const TraceEvent& event) {
+  os << "{\"t\":" << json_number(event.t) << ",\"kind\":\"" << event_kind_name(event.kind)
+     << '"';
+  if (event.subject >= 0) os << ",\"subject\":" << event.subject;
+  if (event.object >= 0) os << ",\"object\":" << event.object;
+  if (event.value != 0.0) os << ",\"value\":" << json_number(event.value);
+  if (!event.note.empty()) os << ",\"note\":\"" << json_escape(event.note) << '"';
+  os << "}\n";
+}
+
+}  // namespace cloudfog::obs

@@ -1,0 +1,85 @@
+// Bounded structured event trace.
+//
+// Components push typed events stamped with the simulation clock; the
+// buffer is a fixed-capacity ring so tracing never grows memory unbounded.
+// Two retention modes:
+//   * no sink attached — the ring keeps the most recent `capacity` events
+//     (oldest overwritten, counted as dropped);
+//   * JSONL sink attached — the ring is a write buffer: it flushes to the
+//     sink when full and on flush(), so the file sees every event while
+//     memory stays bounded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudfog::obs {
+
+enum class EventKind : std::uint8_t {
+  kRunStart,        ///< a System run began (note = arm label)
+  kSubcycle,        ///< subcycle boundary (subject=cycle, object=subcycle, value=online)
+  kPlayerJoin,      ///< subject=player, object=serving entity, value=join latency ms
+  kPlayerLeave,     ///< subject=player
+  kSupernodeJoin,   ///< subject=supernode, value=join latency ms
+  kSupernodeChurn,  ///< subject=supernode (failure/withdrawal detected)
+  kProbeSent,       ///< subject=player, object=supernode
+  kProbeAnswered,   ///< subject=player, object=supernode, value=RTT ms
+  kCapacityClaim,   ///< subject=player, object=supernode, value=1 granted / 0 refused
+  kMigration,       ///< subject=player, object=new entity, value=migration latency ms
+  kRateSwitch,      ///< subject=game, object=new level, value=+1 up / -1 down
+  kProvisioning,    ///< value=deployed count, note=decision detail
+  kRating,          ///< subject=supernode, value=rating in [0,1]
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct TraceEvent {
+  double t = 0.0;  ///< monotone observability clock (seconds)
+  EventKind kind = EventKind::kRunStart;
+  std::int64_t subject = -1;
+  std::int64_t object = -1;
+  double value = 0.0;
+  std::string note;  ///< optional free-form detail (JSON-escaped on write)
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  void push(TraceEvent event);
+
+  /// Attaches a JSONL sink (nullptr detaches). The buffer flushes current
+  /// contents immediately when a sink is attached.
+  void set_sink(std::ostream* sink);
+
+  /// Writes everything buffered to the sink (if any) and clears the ring.
+  void flush();
+
+  /// Buffered events, oldest first (post-wrap: the surviving window).
+  std::vector<TraceEvent> events() const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events ever pushed / overwritten before being read or sunk.
+  std::uint64_t total_pushed() const { return total_pushed_; }
+  std::uint64_t total_sunk() const { return total_sunk_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  void clear();
+
+  static void write_jsonl(std::ostream& os, const TraceEvent& event);
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest buffered event
+  std::size_t size_ = 0;
+  std::uint64_t total_pushed_ = 0;
+  std::uint64_t total_sunk_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::ostream* sink_ = nullptr;
+};
+
+}  // namespace cloudfog::obs

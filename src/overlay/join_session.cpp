@@ -1,10 +1,38 @@
 #include "overlay/join_session.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::overlay {
+
+namespace {
+
+/// Interned metric handles for the message-level join protocol.
+struct JoinObs {
+  obs::CounterId probes_sent;
+  obs::CounterId probes_answered;
+  obs::CounterId claims;
+  obs::CounterId joins_fog;
+  obs::CounterId joins_failed;
+  JoinObs() {
+    auto& reg = obs::Recorder::global().registry();
+    probes_sent = reg.counter("overlay.probes_sent");
+    probes_answered = reg.counter("overlay.probes_answered");
+    claims = reg.counter("overlay.capacity_claims");
+    joins_fog = reg.counter("overlay.joins_fog");
+    joins_failed = reg.counter("overlay.joins_failed");
+  }
+};
+
+JoinObs& join_obs() {
+  static JoinObs handles;
+  return handles;
+}
+
+}  // namespace
 
 JoinSession::JoinSession(sim::Simulator& sim, MessageNetwork& network, Address self,
                          Address directory, JoinConfig cfg, Ranker ranker,
@@ -81,7 +109,15 @@ void JoinSession::on_message(const Message& msg) {
       if (it == probe_sent_ms_.end()) return;
       const double rtt = sim_.now() * 1000.0 - it->second;
       probe_sent_ms_.erase(it);
-      if (rtt / 2.0 <= cfg_.lmax_ms) probed_rtt_ms_.emplace_back(msg.src, rtt);
+      const bool within_lmax = rtt / 2.0 <= cfg_.lmax_ms;
+      if (within_lmax) probed_rtt_ms_.emplace_back(msg.src, rtt);
+      auto& rec = obs::Recorder::global();
+      if (rec.enabled()) {
+        rec.registry().add(join_obs().probes_answered);
+        rec.trace_at(sim_.now(), obs::EventKind::kProbeAnswered,
+                     static_cast<std::int64_t>(self_), static_cast<std::int64_t>(msg.src),
+                     rtt, within_lmax ? "within_lmax" : "over_lmax");
+      }
       if (probe_sent_ms_.empty()) finish_probing();
       break;
     }
@@ -119,6 +155,7 @@ void JoinSession::finish_candidates() {
     finish(false, kNoAddress);
     return;
   }
+  auto& rec = obs::Recorder::global();
   for (Address candidate : candidates_) {
     probe_sent_ms_[candidate] = sim_.now() * 1000.0;
     Message probe;
@@ -128,6 +165,11 @@ void JoinSession::finish_candidates() {
     probe.session = session_id_;
     network_.send(probe);
     ++result_.probes;
+    if (rec.enabled()) {
+      rec.registry().add(join_obs().probes_sent);
+      rec.trace_at(sim_.now(), obs::EventKind::kProbeSent,
+                   static_cast<std::int64_t>(self_), static_cast<std::int64_t>(candidate));
+    }
   }
   arm_timeout();
 }
@@ -163,6 +205,13 @@ void JoinSession::next_claim() {
   ask.session = session_id_;
   network_.send(ask);
   ++result_.capacity_asks;
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    rec.registry().add(join_obs().claims);
+    rec.trace_at(sim_.now(), obs::EventKind::kCapacityClaim,
+                 static_cast<std::int64_t>(self_),
+                 static_cast<std::int64_t>(claim_order_[claim_index_]));
+  }
   arm_timeout();
 }
 
@@ -174,6 +223,14 @@ void JoinSession::finish(bool fog_connected, Address supernode) {
   result_.fog_connected = fog_connected;
   result_.supernode = supernode;
   result_.join_latency_ms = sim_.now() * 1000.0 - started_at_ms_;
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    rec.registry().add(fog_connected ? join_obs().joins_fog : join_obs().joins_failed);
+    rec.trace_at(sim_.now(), obs::EventKind::kPlayerJoin,
+                 static_cast<std::int64_t>(self_),
+                 fog_connected ? static_cast<std::int64_t>(supernode) : -1,
+                 result_.join_latency_ms, fog_connected ? "fog" : "no_supernode");
+  }
   done_(result_);
 }
 

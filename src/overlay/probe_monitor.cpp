@@ -1,5 +1,8 @@
 #include "overlay/probe_monitor.hpp"
 
+#include <cstdint>
+
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::overlay {
@@ -41,6 +44,15 @@ void ProbeMonitor::tick() {
     ++misses_;
     if (misses_ >= cfg_.miss_limit) {
       running_ = false;
+      auto& rec = obs::Recorder::global();
+      if (rec.enabled()) {
+        static const obs::CounterId failures =
+            rec.registry().counter("overlay.liveness_failures");
+        rec.registry().add(failures);
+        rec.trace_at(sim_.now(), obs::EventKind::kSupernodeChurn,
+                     static_cast<std::int64_t>(target_), static_cast<std::int64_t>(self_),
+                     static_cast<double>(misses_), "liveness_timeout");
+      }
       // The callback may destroy this monitor (typical: the player stops
       // watching and rejoins); keep the callable alive on the stack.
       const auto on_failure = std::move(on_failure_);
@@ -55,6 +67,13 @@ void ProbeMonitor::tick() {
   probe.kind = MessageKind::kLivenessProbe;
   network_.send(probe);
   awaiting_reply_ = true;
+  {
+    auto& rec = obs::Recorder::global();
+    if (rec.enabled()) {
+      static const obs::CounterId liveness = rec.registry().counter("overlay.liveness_probes");
+      rec.registry().add(liveness);
+    }
+  }
 
   const int epoch = epoch_;
   const std::weak_ptr<int> alive = alive_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::reputation {
@@ -16,6 +18,12 @@ ReputationStore::ReputationStore(double aging_factor, std::size_t max_ratings_pe
 void ReputationStore::add_rating(SupernodeId sn, double value, int day) {
   CLOUDFOG_REQUIRE(value >= 0.0 && value <= 1.0, "rating out of [0,1]");
   CLOUDFOG_REQUIRE(day >= 1, "days are 1-based");
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    static const obs::CounterId ratings = rec.registry().counter("reputation.ratings");
+    rec.registry().add(ratings);
+    rec.trace(obs::EventKind::kRating, static_cast<std::int64_t>(sn), day, value);
+  }
   auto& list = ratings_[sn];
   list.push_back(Rating{value, day});
   if (list.size() > max_ratings_) {

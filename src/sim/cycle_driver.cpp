@@ -1,5 +1,6 @@
 #include "sim/cycle_driver.hpp"
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::sim {
@@ -31,6 +32,7 @@ bool CycleDriver::is_peak_subcycle(int subcycle) const {
 }
 
 void CycleDriver::run() {
+  auto& rec = obs::Recorder::global();
   for (int cycle = 1; cycle <= cfg_.total_cycles; ++cycle) {
     const bool warmup = cycle <= cfg_.warmup_cycles;
     for (int sub = 1; sub <= cfg_.subcycles_per_cycle; ++sub) {
@@ -40,8 +42,15 @@ void CycleDriver::run() {
       point.warmup = warmup;
       point.peak = is_peak_subcycle(sub);
       point.start_time = sim_.now();
+      if (rec.enabled()) {
+        rec.set_sim_time(point.start_time);
+        rec.trace(obs::EventKind::kSubcycle, cycle, sub);
+      }
       for (const auto& hook : subcycle_hooks_) hook(point);
-      sim_.run_until(point.start_time + cfg_.subcycle_seconds);
+      {
+        CLOUDFOG_TIMED_SCOPE("sim.drain");
+        sim_.run_until(point.start_time + cfg_.subcycle_seconds);
+      }
     }
     for (const auto& hook : cycle_hooks_) hook(cycle, warmup);
   }

@@ -9,7 +9,34 @@
 
 namespace cloudfog::util {
 
-/// Streaming mean/variance/min/max (Welford). O(1) memory.
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm): tracks
+/// one p-quantile in O(1) memory with five markers. Exact up to five
+/// samples; a piecewise-parabolic estimate beyond. Used by RunningStats to
+/// offer percentiles without retaining samples.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double x);
+  /// Current estimate; 0 with no samples, exact for n ≤ 5.
+  double value() const;
+  std::size_t count() const { return count_; }
+
+  /// Approximate merge: with both estimators past their warm-up, marker
+  /// heights are combined as count-weighted averages — the result is an
+  /// estimate of the pooled quantile, not the exact pooled statistic.
+  void merge(const P2Quantile& other);
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Streaming mean/variance/min/max (Welford) plus P² percentile estimates
+/// (p50/p95/p99). O(1) memory.
 class RunningStats {
  public:
   void add(double x);
@@ -25,12 +52,21 @@ class RunningStats {
   double max() const;
   double sum() const { return mean() * static_cast<double>(count_); }
 
+  /// P²-estimated percentiles (exact for ≤ 5 samples; after merge(),
+  /// approximate — see P2Quantile::merge).
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+  double p99() const { return p99_.value(); }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  P2Quantile p50_{0.50};
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
 };
 
 /// Retains every sample; supports exact order statistics.
@@ -44,6 +80,9 @@ class SampleSet {
   /// Exact p-quantile, p in [0,1], linear interpolation between ranks.
   double percentile(double p) const;
   double median() const { return percentile(0.5); }
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
   const std::vector<double>& samples() const { return samples_; }
 
  private:

@@ -1,5 +1,8 @@
 #include "video/rate_adapter.hpp"
 
+#include <cstdint>
+
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cloudfog::video {
@@ -8,6 +11,17 @@ namespace {
 
 SegmentSpec spec_for(const game::QualityLevel& level, double duration_s) {
   return SegmentSpec{duration_s, level.bitrate_kbps};
+}
+
+void note_switch(game::GameId game, int new_level, bool up) {
+  auto& rec = obs::Recorder::global();
+  if (!rec.enabled()) return;
+  auto& reg = rec.registry();
+  static const obs::CounterId switches_up = reg.counter("rate.switch_up");
+  static const obs::CounterId switches_down = reg.counter("rate.switch_down");
+  reg.add(up ? switches_up : switches_down);
+  rec.trace(obs::EventKind::kRateSwitch, static_cast<std::int64_t>(game), new_level,
+            up ? 1.0 : -1.0);
 }
 
 }  // namespace
@@ -88,6 +102,7 @@ RateAdapter::StepOutcome RateAdapter::step(double dt, double download_bps) {
     if (rng_.chance(cfg_.up_probability)) {
       switch_level(catalog_.ladder().step_up(level_->level));
       out.decision = RateDecision::kUp;
+      note_switch(game_, level_->level, /*up=*/true);
     } else {
       up_streak_ = 0;  // lost the draw; re-confirm before trying again
     }
@@ -95,6 +110,7 @@ RateAdapter::StepOutcome RateAdapter::step(double dt, double download_bps) {
              level_->level > catalog_.ladder().min_level()) {
     switch_level(catalog_.ladder().step_down(level_->level));
     out.decision = RateDecision::kDown;
+    note_switch(game_, level_->level, /*up=*/false);
   }
   return out;
 }

@@ -1,0 +1,115 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::obs {
+namespace {
+
+TEST(Registry, CounterInterningIsIdempotent) {
+  Registry reg;
+  const CounterId a = reg.counter("joins");
+  const CounterId b = reg.counter("joins");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(reg.counter_count(), 1u);
+  const CounterId c = reg.counter("leaves");
+  EXPECT_NE(a.index, c.index);
+  EXPECT_EQ(reg.counter_count(), 2u);
+}
+
+TEST(Registry, CounterAccumulates) {
+  Registry reg;
+  const CounterId id = reg.counter("events");
+  reg.add(id);
+  reg.add(id, 4);
+  EXPECT_EQ(reg.counter_value(id), 5u);
+  EXPECT_EQ(reg.counter_value("events"), 5u);
+  EXPECT_EQ(reg.counter_value("never-registered"), 0u);
+}
+
+TEST(Registry, GaugeKeepsLastValue) {
+  Registry reg;
+  const GaugeId id = reg.gauge("online");
+  reg.set(id, 10.0);
+  reg.set(id, 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(id), 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("online"), 3.0);
+}
+
+TEST(Registry, HistogramBinsAndClamps) {
+  Registry reg;
+  const HistogramId id = reg.histogram("lat", 0.0, 100.0, 10);
+  reg.observe(id, 5.0);    // bin 0
+  reg.observe(id, 55.0);   // bin 5
+  reg.observe(id, -20.0);  // underflow, clamps to bin 0
+  reg.observe(id, 500.0);  // overflow, clamps to last bin
+  const auto& cell = reg.histogram_cell(id.index);
+  EXPECT_EQ(cell.total, 4u);
+  EXPECT_EQ(cell.counts[0], 2u);
+  EXPECT_EQ(cell.counts[5], 1u);
+  EXPECT_EQ(cell.counts[9], 1u);
+  EXPECT_EQ(cell.underflow, 1u);
+  EXPECT_EQ(cell.overflow, 1u);
+  EXPECT_DOUBLE_EQ(cell.bin_low(5), 50.0);
+  EXPECT_DOUBLE_EQ(cell.bin_high(5), 60.0);
+}
+
+TEST(Registry, HistogramFirstRegistrationWins) {
+  Registry reg;
+  const HistogramId a = reg.histogram("lat", 0.0, 100.0, 10);
+  const HistogramId b = reg.histogram("lat", 0.0, 9999.0, 3);
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_DOUBLE_EQ(reg.histogram_cell(a.index).hi, 100.0);
+  EXPECT_EQ(reg.histogram_cell(a.index).counts.size(), 10u);
+}
+
+TEST(Registry, SnapshotDeltaSubtractsCountersKeepsGauges) {
+  Registry reg;
+  const CounterId c = reg.counter("joins");
+  const GaugeId g = reg.gauge("online");
+  const HistogramId h = reg.histogram("lat", 0.0, 10.0, 2);
+  reg.add(c, 3);
+  reg.set(g, 7.0);
+  reg.observe(h, 1.0);
+  const RegistrySnapshot before = reg.snapshot();
+
+  reg.add(c, 5);
+  reg.set(g, 9.0);
+  reg.observe(h, 1.0);
+  reg.observe(h, 8.0);
+  const RegistrySnapshot after = reg.snapshot();
+
+  const RegistrySnapshot delta = after.delta_since(before);
+  EXPECT_EQ(delta.counters[c.index], 5u);
+  EXPECT_DOUBLE_EQ(delta.gauges[g.index], 9.0);  // instantaneous, not subtracted
+  EXPECT_EQ(delta.histogram_counts[h.index][0], 1u);
+  EXPECT_EQ(delta.histogram_counts[h.index][1], 1u);
+}
+
+TEST(Registry, SnapshotDeltaHandlesMetricsRegisteredInBetween) {
+  Registry reg;
+  const CounterId c = reg.counter("early");
+  reg.add(c, 2);
+  const RegistrySnapshot before = reg.snapshot();
+  const CounterId late = reg.counter("late");
+  reg.add(late, 4);
+  const RegistrySnapshot delta = reg.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counters[c.index], 0u);
+  EXPECT_EQ(delta.counters[late.index], 4u);  // counts from zero
+}
+
+TEST(Registry, ResetValuesKeepsHandles) {
+  Registry reg;
+  const CounterId c = reg.counter("joins");
+  const HistogramId h = reg.histogram("lat", 0.0, 10.0, 2);
+  reg.add(c, 3);
+  reg.observe(h, 1.0);
+  reg.reset_values();
+  EXPECT_EQ(reg.counter_value(c), 0u);
+  EXPECT_EQ(reg.histogram_cell(h.index).total, 0u);
+  EXPECT_EQ(reg.counter_count(), 1u);
+  reg.add(c);
+  EXPECT_EQ(reg.counter_value("joins"), 1u);
+}
+
+}  // namespace
+}  // namespace cloudfog::obs

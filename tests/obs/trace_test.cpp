@@ -1,0 +1,135 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace cloudfog::obs {
+namespace {
+
+TraceEvent at(double t, EventKind kind = EventKind::kPlayerJoin) {
+  TraceEvent e;
+  e.t = t;
+  e.kind = kind;
+  return e;
+}
+
+TEST(TraceBuffer, KeepsEventsOldestFirst) {
+  TraceBuffer buf(8);
+  for (int i = 0; i < 5; ++i) buf.push(at(i));
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].t, i);
+  EXPECT_EQ(buf.total_pushed(), 5u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, WrapsAroundDroppingOldestWithoutSink) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) buf.push(at(i));
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The surviving window is the most recent four events, oldest first.
+  EXPECT_DOUBLE_EQ(events.front().t, 6.0);
+  EXPECT_DOUBLE_EQ(events.back().t, 9.0);
+  EXPECT_EQ(buf.total_pushed(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+}
+
+TEST(TraceBuffer, SinkStreamsEveryEvent) {
+  std::ostringstream os;
+  TraceBuffer buf(4);
+  buf.set_sink(&os);
+  for (int i = 0; i < 10; ++i) buf.push(at(i));
+  buf.flush();
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.total_sunk(), 10u);
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 10);
+}
+
+TEST(TraceBuffer, AttachingSinkFlushesBufferedEvents) {
+  TraceBuffer buf(8);
+  buf.push(at(1.0));
+  buf.push(at(2.0));
+  std::ostringstream os;
+  buf.set_sink(&os);
+  EXPECT_EQ(buf.total_sunk(), 2u);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TraceBuffer, JsonlFieldsAndOptionalOmission) {
+  TraceEvent e;
+  e.t = 1.5;
+  e.kind = EventKind::kProbeAnswered;
+  e.subject = 7;
+  e.object = 3;
+  e.value = 42.0;
+  e.note = "within_lmax";
+  std::ostringstream os;
+  TraceBuffer::write_jsonl(os, e);
+  EXPECT_EQ(os.str(),
+            "{\"t\":1.5,\"kind\":\"probe_answered\",\"subject\":7,\"object\":3,"
+            "\"value\":42,\"note\":\"within_lmax\"}\n");
+
+  TraceEvent bare;
+  bare.t = 0.0;
+  bare.kind = EventKind::kPlayerLeave;
+  bare.subject = 2;
+  std::ostringstream os2;
+  TraceBuffer::write_jsonl(os2, bare);
+  // object, value and note are omitted when unset.
+  EXPECT_EQ(os2.str(), "{\"t\":0,\"kind\":\"player_leave\",\"subject\":2}\n");
+}
+
+TEST(TraceBuffer, JsonlEscapesNotes) {
+  TraceEvent e;
+  e.kind = EventKind::kProvisioning;
+  e.note = "a\"b\\c\nd\x01";
+  std::ostringstream os;
+  TraceBuffer::write_jsonl(os, e);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd\\u0001"), std::string::npos);
+}
+
+TEST(JsonEscape, ControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\x1f")), "nul\\u001f");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(1.25), "1.25");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(EventKindName, CoversAllKinds) {
+  EXPECT_STREQ(event_kind_name(EventKind::kRunStart), "run_start");
+  EXPECT_STREQ(event_kind_name(EventKind::kSubcycle), "subcycle");
+  EXPECT_STREQ(event_kind_name(EventKind::kMigration), "migration");
+  EXPECT_STREQ(event_kind_name(EventKind::kRateSwitch), "rate_switch");
+  EXPECT_STREQ(event_kind_name(EventKind::kRating), "rating");
+}
+
+TEST(TraceBuffer, ClearResetsBufferButNotTotals) {
+  TraceBuffer buf(4);
+  buf.push(at(1.0));
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.events().empty());
+}
+
+}  // namespace
+}  // namespace cloudfog::obs

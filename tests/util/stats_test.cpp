@@ -67,6 +67,77 @@ TEST(RunningStats, Reset) {
   EXPECT_EQ(s.count(), 0u);
 }
 
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // exact median of {1,3}
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, TracksUniformStream) {
+  P2Quantile median(0.5);
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>((i * 7919) % 10000);  // shuffled 0..9999
+    median.add(v);
+    p95.add(v);
+  }
+  EXPECT_NEAR(median.value(), 5000.0, 150.0);
+  EXPECT_NEAR(p95.value(), 9500.0, 150.0);
+}
+
+TEST(P2Quantile, RejectsBadProbability) { EXPECT_THROW(P2Quantile(1.5), ConfigError); }
+
+TEST(RunningStats, PercentilesMatchExactOnLargeStream) {
+  RunningStats s;
+  SampleSet exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = static_cast<double>((i * 104729) % 20000) / 20.0;
+    s.add(v);
+    exact.add(v);
+  }
+  // P² is an estimator: allow a small relative band around the exact value.
+  EXPECT_NEAR(s.p50(), exact.p50(), exact.p50() * 0.02 + 1.0);
+  EXPECT_NEAR(s.p95(), exact.p95(), exact.p95() * 0.02 + 1.0);
+  EXPECT_NEAR(s.p99(), exact.p99(), exact.p99() * 0.02 + 1.0);
+}
+
+TEST(RunningStats, PercentilesExactForTinyStreams) {
+  RunningStats s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 15.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 10.0 + 0.99 * 10.0);
+}
+
+TEST(RunningStats, MergedPercentilesStayInRange) {
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    a.add(static_cast<double>(i % 100));
+    b.add(static_cast<double>(i % 100) + 100.0);
+  }
+  a.merge(b);
+  // Approximate after merge, but must stay inside the pooled value range
+  // and be ordered.
+  EXPECT_GE(a.p50(), a.min());
+  EXPECT_LE(a.p99(), a.max());
+  EXPECT_LE(a.p50(), a.p95());
+  EXPECT_LE(a.p95(), a.p99());
+}
+
+TEST(SampleSet, NamedPercentileAccessors) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 99.0);
+}
+
 TEST(SampleSet, MeanAndMedian) {
   SampleSet s;
   for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
