@@ -1,0 +1,15 @@
+// Chaos sweep: a seeded schedule of mixed faults — supernode crashes,
+// slow nodes, regional partitions, update-channel loss/delay bursts and
+// probe blackholes — hits the advanced CloudFog arm at increasing
+// intensity. Reports QoS next to the recovery metrics (MTTR, fault-driven
+// cloud-fallback residency, interrupted sessions). Set CLOUDFOG_FAULT_SEED
+// to replay the exact fault/recovery sequence from a CI log.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudfog;
+  const auto scale = bench::scale_from_args(argc, argv);
+  bench::print(core::chaos_sweep(core::TestbedProfile::kPeerSim,
+                                 {0.0, 0.5, 1.0, 2.0, 4.0}, scale));
+  return 0;
+}

@@ -53,7 +53,7 @@ int main() {
 
   auto watch_primary = [&] {
     overlay::ProbeMonitorConfig mon;
-    mon.period_ms = 250.0;
+    mon.policy = cloudfog::fault::RetryPolicy::liveness(/*period_ms=*/250.0);
     player.watch(primary.address(), mon, [&](double) {
       note("liveness monitor declares the supernode dead");
       stream->stop();

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 tests twice (plain and sanitized builds) plus a
-# bench smoke test that exercises the observability exports.
+# Full verification: tier-1 tests twice (plain and sanitized builds), a
+# bench smoke test that exercises the observability exports, and a chaos
+# smoke test that replays a seeded fault schedule (under ASan+UBSan unless
+# --quick).
 #
 #   scripts/check.sh            everything
-#   scripts/check.sh --quick    plain tests + bench smoke only (no sanitizers)
+#   scripts/check.sh --quick    plain tests + smoke tests only (no sanitizers)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,6 +63,45 @@ print(f"report OK ({len(report['runs'])} runs, {len(report['counters'])} counter
 EOF
 else
   echo "python3 not found: skipping JSON schema validation"
+fi
+
+echo "== chaos smoke: seeded fault replay =="
+# The sanitized binary when available: the fault paths (crash displacement,
+# overlapping clears, fallback bookkeeping) are exactly where lifetime bugs
+# would hide.
+CHAOS_BIN=./build/bench/bench_ext_chaos
+[ "$QUICK" -eq 0 ] && CHAOS_BIN=./build-asan/bench/bench_ext_chaos
+CLOUDFOG_FAULT_SEED=424242 "$CHAOS_BIN" --quick \
+  --report-json "$SMOKE_DIR/chaos_report.json" \
+  --trace "$SMOKE_DIR/chaos_a.jsonl" >/dev/null
+CLOUDFOG_FAULT_SEED=424242 "$CHAOS_BIN" --quick \
+  --trace "$SMOKE_DIR/chaos_b.jsonl" >/dev/null
+
+grep '"kind":"fault_' "$SMOKE_DIR/chaos_a.jsonl" > "$SMOKE_DIR/faults_a.jsonl" || true
+grep '"kind":"fault_' "$SMOKE_DIR/chaos_b.jsonl" > "$SMOKE_DIR/faults_b.jsonl" || true
+[ -s "$SMOKE_DIR/faults_a.jsonl" ] || { echo "chaos run injected no faults" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/faults_a.jsonl" "$SMOKE_DIR/faults_b.jsonl" || {
+  echo "seeded chaos replay diverged (fault trace lines differ)" >&2; exit 1; }
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/chaos_report.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"].startswith("cloudfog.run_report/"), report["schema"]
+assert report["runs"], "no runs in chaos report"
+counters = report["counters"]
+joins, leaves = counters["system.player_joins"], counters["system.player_leaves"]
+assert joins == leaves, f"session leak: {joins} joins vs {leaves} leaves"
+assert counters.get("fault.injected", 0) > 0, "no faults injected"
+assert counters.get("fault.cleared", 0) > 0, "no faults cleared"
+names = {name for run in report["runs"] for name in run["metrics"]}
+for required in ("mttr_ms", "fallback_residency", "sessions_interrupted"):
+    assert required in names, f"missing chaos metric {required}"
+print(f"chaos report OK ({counters['fault.injected']} faults injected, "
+      f"{joins} joins == leaves, replay identical)")
+EOF
+else
+  echo "python3 not found: skipping chaos report validation"
 fi
 
 echo "all checks passed"

@@ -375,27 +375,44 @@ util::Table failure_rate_sweep(TestbedProfile profile,
                     "avg migration (s)", "migrations"});
   const Testbed testbed(profile_config(profile), scale.seed);
   const auto cycles = to_cycle_config(scale);
+  const std::size_t fleet = default_supernode_count(testbed);
+
+  // Reference arm with the fault subsystem not even constructed. The
+  // 0.0-fraction row must reproduce it exactly — arming an empty plan may
+  // not perturb the simulation.
+  const double unfaulted_continuity = [&] {
+    System sys(testbed, cloudfog_advanced_config(testbed, fleet), scale.seed + 61);
+    return sys.run(cycles).continuity.mean();
+  }();
+
   for (double fraction : failure_fractions) {
-    System sys(testbed,
-               cloudfog_advanced_config(testbed, default_supernode_count(testbed)),
-               scale.seed + 61);
-    const std::size_t failures_per_cycle = static_cast<std::size_t>(
-        fraction * static_cast<double>(default_supernode_count(testbed)));
+    SystemConfig cfg = cloudfog_advanced_config(testbed, fleet);
+    cfg.faults.enabled = true;
+    // The legacy churn schedule as a fault plan: a crash burst right after
+    // the first peak subcycle of every cycle (when it hurts the most),
+    // every victim rebooted by the next day. kAnyTarget victims resolve to
+    // serving supernodes at fire time.
+    const auto failures_per_cycle =
+        static_cast<std::size_t>(fraction * static_cast<double>(fleet));
+    const double day_s = static_cast<double>(cycles.subcycles_per_cycle) * 3600.0;
     for (int day = 1; day <= cycles.total_cycles; ++day) {
-      sys.begin_cycle(day);
-      for (int sub = 1; sub <= cycles.subcycles_per_cycle; ++sub) {
-        const bool peak =
-            sub >= cycles.peak_start_subcycle && sub <= cycles.peak_end_subcycle;
-        sys.run_subcycle(day, sub, day <= cycles.warmup_cycles, peak);
-        // Fail a burst at the start of the peak, when it hurts the most.
-        if (sub == cycles.peak_start_subcycle && failures_per_cycle > 0) {
-          sys.inject_supernode_failures(failures_per_cycle, day);
-        }
+      const double burst_s = static_cast<double>(day - 1) * day_s +
+                             static_cast<double>(cycles.peak_start_subcycle) * 3600.0 + 1.0;
+      const double reboot_s = static_cast<double>(day) * day_s + 0.5;
+      for (std::size_t i = 0; i < failures_per_cycle; ++i) {
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::kSupernodeCrash;
+        spec.at_s = burst_s + static_cast<double>(i) * 1e-3;
+        spec.duration_s = reboot_s - spec.at_s;
+        cfg.faults.extra_specs.push_back(spec);
       }
-      sys.end_cycle(day);
-      sys.recover_supernodes();  // owners reboot by the next day
     }
-    const RunMetrics& m = sys.metrics();
+    System sys(testbed, cfg, scale.seed + 61);
+    const RunMetrics& m = sys.run(cycles);
+    if (fraction == 0.0) {
+      CLOUDFOG_REQUIRE(m.continuity.mean() == unfaulted_continuity,
+                       "armed-but-empty fault plan perturbed the run");
+    }
     const double migration_s =
         m.migration_latency_ms.empty() ? 0.0 : m.migration_latency_ms.mean() / 1000.0;
     table.add_row({util::format_double(fraction, 2),
@@ -403,6 +420,37 @@ util::Table failure_rate_sweep(TestbedProfile profile,
                    util::format_double(m.satisfied_fraction.mean() * 100.0, 1),
                    util::format_double(migration_s, 3),
                    std::to_string(m.migration_latency_ms.count())});
+  }
+  return table;
+}
+
+util::Table chaos_sweep(TestbedProfile profile, const std::vector<double>& faults_per_hour,
+                        const ExperimentScale& scale) {
+  util::Table table("Chaos — QoS and recovery under a mixed fault schedule");
+  table.set_header({"faults/hour", "continuity", "latency (ms)", "satisfied (%)",
+                    "migrations", "mttr (s)", "fallback res (%)", "interrupted"});
+  const Testbed testbed(profile_config(profile), scale.seed);
+  const auto cycles = to_cycle_config(scale);
+  for (double rate : faults_per_hour) {
+    SystemConfig cfg = cloudfog_advanced_config(testbed, default_supernode_count(testbed));
+    cfg.faults.enabled = true;
+    cfg.faults.faults_per_hour = rate;
+    // A finite re-selection deadline (detection + probing + claims) so a
+    // migration into a churning fleet can exhaust its budget and degrade
+    // to direct cloud streaming — the graceful-degradation path.
+    cfg.fog.selection.deadline_budget_ms = 700.0;
+    cfg.faults.horizon_s = static_cast<double>(cycles.total_cycles) *
+                           static_cast<double>(cycles.subcycles_per_cycle) * 3600.0;
+    System sys(testbed, cfg, scale.seed + 81);
+    const RunMetrics& m = sys.run(cycles);
+    table.add_row({util::format_double(rate, 2),
+                   util::format_double(m.continuity.mean(), 3),
+                   util::format_double(m.response_latency_ms.mean(), 1),
+                   util::format_double(m.satisfied_fraction.mean() * 100.0, 1),
+                   std::to_string(m.migration_latency_ms.count()),
+                   util::format_double(m.mttr_ms.empty() ? 0.0 : m.mttr_ms.mean() / 1000.0, 3),
+                   util::format_double(m.fallback_residency.mean() * 100.0, 2),
+                   std::to_string(m.sessions_interrupted)});
   }
   return table;
 }

@@ -41,15 +41,21 @@ FogManager::FogManager(FogManagerConfig cfg, const Cloud& cloud,
     : cfg_(cfg), cloud_(cloud), latency_(latency) {
   CLOUDFOG_REQUIRE(cfg.candidate_count >= 1, "need at least one candidate");
   CLOUDFOG_REQUIRE(cfg.lmax_fraction_of_requirement > 0.0, "L_max fraction must be positive");
-  CLOUDFOG_REQUIRE(cfg.detection_timeout_ms >= 0.0, "negative detection timeout");
+  cfg.detection.validate();
+  cfg.selection.validate();
 }
 
 SelectionOutcome FogManager::try_candidates(PlayerState& player,
                                             std::vector<SupernodeState>& fleet,
                                             const std::vector<std::size_t>& candidates,
                                             double lmax_ms, int current_day,
-                                            bool reputation_enabled, util::Rng& rng) const {
+                                            bool reputation_enabled, util::Rng& rng,
+                                            fault::RetryBudget* budget) const {
   SelectionOutcome out;
+  // Active blackholes / partitions make probes vanish; only then is the
+  // player's region needed (its game-state datacenter — the same nearest-DC
+  // mapping the fault plan uses for supernode regions).
+  const bool impaired = faults_ != nullptr && faults_->any_active();
 
   // Step 2: probe every candidate; drop those whose one-way transmission
   // delay exceeds L_max. Probes run in parallel, so the protocol pays the
@@ -66,7 +72,25 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
     CLOUDFOG_TIMED_SCOPE("fog.probe");
     for (std::size_t idx : candidates) {
       const SupernodeState& sn = fleet[idx];
-      if (!sn.deployed || sn.failed) continue;
+      if (!sn.deployed) continue;
+      // With faults in flight, a crashed or unreachable candidate swallows
+      // the probe: the player waits the full probe timeout (in parallel
+      // with the others) and never qualifies the node. Without faults a
+      // failed node is skipped for free, as before this subsystem existed.
+      if (impaired && (sn.failed || faults_->blackholed(idx) ||
+                       faults_->partitioned_from_supernode(player.state_dc, idx))) {
+        ++out.probes;
+        slowest_probe = std::max(slowest_probe, cfg_.selection.attempt_timeout_ms);
+        if (rec.enabled()) {
+          rec.registry().add(fog_obs().probes_sent);
+          rec.trace(obs::EventKind::kProbeSent, static_cast<std::int64_t>(player.info.id),
+                    static_cast<std::int64_t>(idx), 0.0,
+                    sn.failed ? "crashed"
+                              : (faults_->blackholed(idx) ? "blackholed" : "partitioned"));
+        }
+        continue;
+      }
+      if (sn.failed) continue;
       const double rtt = latency_.rtt_ms(player.info.endpoint, sn.endpoint);
       ++out.probes;
       slowest_probe = std::max(slowest_probe, rtt);
@@ -87,6 +111,7 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
     }
   }
   out.join_latency_ms += slowest_probe;
+  if (budget != nullptr) budget->charge_ms(slowest_probe);
 
   // Step 3: order by reputation (or randomly without the strategy).
   if (reputation_enabled) {
@@ -96,11 +121,17 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
     std::shuffle(qualified.begin(), qualified.end(), rng);
   }
 
-  // Step 4: sequential capacity claims — each costs one RTT.
+  // Step 4: sequential capacity claims — each costs one RTT and draws one
+  // attempt from the selection budget.
   for (const Probed& cand : qualified) {
+    if (budget != nullptr && !budget->next_attempt(rng)) {
+      out.budget_exhausted = true;
+      break;
+    }
     SupernodeState& sn = fleet[cand.index];
     ++out.capacity_asks;
     out.join_latency_ms += cand.rtt_ms;
+    if (budget != nullptr) budget->charge_ms(cand.rtt_ms);
     const bool granted = sn.accepting();
     if (rec.enabled()) {
       rec.registry().add(fog_obs().capacity_asks);
@@ -122,15 +153,17 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
   return out;
 }
 
-SelectionOutcome FogManager::select_supernode(PlayerState& player,
-                                              std::vector<SupernodeState>& fleet,
-                                              const game::GameCatalog& catalog,
-                                              int current_day, bool reputation_enabled,
-                                              util::Rng& rng) const {
+SelectionOutcome FogManager::select_with_budget(PlayerState& player,
+                                                std::vector<SupernodeState>& fleet,
+                                                const game::GameCatalog& catalog,
+                                                int current_day, bool reputation_enabled,
+                                                util::Rng& rng,
+                                                fault::RetryBudget& budget) const {
   // Step 1: candidate lookup at the cloud — one RTT to the nearest DC.
   const std::size_t dc = cloud_.nearest_datacenter(player.info.endpoint);
   const double cloud_rtt =
       latency_.rtt_ms(player.info.endpoint, cloud_.datacenter(dc).endpoint);
+  budget.charge_ms(cloud_rtt);
 
   {
     CLOUDFOG_TIMED_SCOPE("fog.discovery");
@@ -141,7 +174,7 @@ SelectionOutcome FogManager::select_supernode(PlayerState& player,
   const double lmax_ms = catalog.game(player.game).latency_requirement_ms *
                          cfg_.lmax_fraction_of_requirement;
   SelectionOutcome out = try_candidates(player, fleet, player.candidate_supernodes, lmax_ms,
-                                        current_day, reputation_enabled, rng);
+                                        current_day, reputation_enabled, rng, &budget);
   out.join_latency_ms += cloud_rtt;
 
   if (!out.serving.attached()) {
@@ -155,21 +188,46 @@ SelectionOutcome FogManager::select_supernode(PlayerState& player,
   return out;
 }
 
+SelectionOutcome FogManager::select_supernode(PlayerState& player,
+                                              std::vector<SupernodeState>& fleet,
+                                              const game::GameCatalog& catalog,
+                                              int current_day, bool reputation_enabled,
+                                              util::Rng& rng) const {
+  fault::RetryBudget budget(cfg_.selection, "fog.select");
+  return select_with_budget(player, fleet, catalog, current_day, reputation_enabled, rng,
+                            budget);
+}
+
 SelectionOutcome FogManager::migrate(PlayerState& player, std::vector<SupernodeState>& fleet,
                                      const game::GameCatalog& catalog, int current_day,
                                      bool reputation_enabled, util::Rng& rng) const {
   const double lmax_ms = catalog.game(player.game).latency_requirement_ms *
                          cfg_.lmax_fraction_of_requirement;
 
-  // Failure detection: the periodic probe has to time out first.
+  // Failure detection: the periodic probes have to run out first; the
+  // detection time also counts against the selection deadline.
+  fault::RetryBudget budget(cfg_.selection, "fog.migrate");
+  budget.charge_ms(cfg_.detection.detection_ms());
   SelectionOutcome out = try_candidates(player, fleet, player.candidate_supernodes, lmax_ms,
-                                        current_day, reputation_enabled, rng);
-  out.join_latency_ms += cfg_.detection_timeout_ms;
+                                        current_day, reputation_enabled, rng, &budget);
+  out.join_latency_ms += cfg_.detection.detection_ms();
 
   if (!out.serving.attached()) {
-    // Candidate cache exhausted — run the full protocol via the cloud.
-    SelectionOutcome full = select_supernode(player, fleet, catalog, current_day,
-                                             reputation_enabled, rng);
+    if (out.budget_exhausted) {
+      // Deadline spent on the cached candidates already: degrade to the
+      // cloud immediately rather than starting a full search.
+      const std::size_t dc = cloud_.nearest_datacenter(player.info.endpoint);
+      player.serving = ServingRef{ServingKind::kCloud, dc};
+      out.serving = player.serving;
+      out.join_latency_ms += cfg_.connect_setup_ms;
+      auto& rec = obs::Recorder::global();
+      if (rec.enabled()) rec.registry().add(fog_obs().cloud_fallbacks);
+      return out;
+    }
+    // Candidate cache exhausted — run the full protocol via the cloud,
+    // draining the same deadline budget.
+    SelectionOutcome full = select_with_budget(player, fleet, catalog, current_day,
+                                               reputation_enabled, rng, budget);
     full.join_latency_ms += out.join_latency_ms;
     full.probes += out.probes;
     full.capacity_asks += out.capacity_asks;

@@ -22,6 +22,8 @@
 
 #include "core/cloud.hpp"
 #include "core/entities.hpp"
+#include "fault/fault_state.hpp"
+#include "fault/retry_policy.hpp"
 #include "util/rng.hpp"
 
 namespace cloudfog::core {
@@ -33,10 +35,18 @@ struct FogManagerConfig {
   /// this fraction — a supernode that alone eats the whole budget cannot
   /// possibly stream in time (§3.2.1).
   double lmax_fraction_of_requirement = 1.0;
-  /// How long a disconnected player waits before declaring its supernode
-  /// dead (probe period; §3.2.2 "normal nodes probe their supernodes
-  /// periodically").
-  double detection_timeout_ms = 500.0;
+  /// Failure detection (§3.2.2 "normal nodes probe their supernodes
+  /// periodically"): attempt_timeout_ms is the probe period, max_attempts
+  /// the miss limit; detection_ms() — 500 ms by default — is the time a
+  /// disconnected player takes to declare its supernode dead.
+  fault::RetryPolicy detection = fault::RetryPolicy::liveness(250.0, 2);
+  /// Selection/claim budget: each sequential capacity claim is one
+  /// attempt, attempt_timeout_ms is what an unanswered probe costs (the
+  /// probe of a blackholed or partitioned node never returns), and
+  /// deadline_budget_ms caps the whole search — exhaustion degrades the
+  /// session to direct cloud streaming. Defaults are unbounded, which
+  /// reproduces the pre-fault-layer behaviour exactly.
+  fault::RetryPolicy selection{.max_attempts = 0, .attempt_timeout_ms = 400.0};
   /// Fixed handshake cost of establishing a streaming session (ms).
   double connect_setup_ms = 50.0;
 };
@@ -46,6 +56,10 @@ struct SelectionOutcome {
   double join_latency_ms = 0;  ///< simulated protocol time
   int probes = 0;              ///< RTT probes issued
   int capacity_asks = 0;       ///< sequential capacity claims attempted
+  /// True when the selection deadline budget ran out before a supernode
+  /// accepted — the caller should treat the cloud attach as a degraded
+  /// fallback (hysteresis applies before returning to fog).
+  bool budget_exhausted = false;
 };
 
 class FogManager {
@@ -53,6 +67,10 @@ class FogManager {
   FogManager(FogManagerConfig cfg, const Cloud& cloud, const net::LatencyModel& latency);
 
   const FogManagerConfig& config() const { return cfg_; }
+
+  /// Attaches the live fault projection (nullptr detaches). While any
+  /// fault is active, probes honour blackholes and partitions.
+  void set_fault_state(const fault::FaultState* faults) { faults_ = faults; }
 
   /// Runs the full §3.2.1 protocol for `player`. Mutates the chosen
   /// supernode's load and the player's serving ref + candidate cache.
@@ -79,14 +97,24 @@ class FogManager {
 
  private:
   /// Steps 2–5 over an explicit candidate list; shared by select/migrate.
+  /// Claims draw on `budget` (may be null for an unbounded search).
   SelectionOutcome try_candidates(PlayerState& player, std::vector<SupernodeState>& fleet,
                                   const std::vector<std::size_t>& candidates,
                                   double lmax_ms, int current_day, bool reputation_enabled,
-                                  util::Rng& rng) const;
+                                  util::Rng& rng, fault::RetryBudget* budget) const;
+
+  /// Full protocol threading one shared budget (used by migrate so the
+  /// cached-candidate pass and the full retry drain the same deadline).
+  SelectionOutcome select_with_budget(PlayerState& player,
+                                      std::vector<SupernodeState>& fleet,
+                                      const game::GameCatalog& catalog, int current_day,
+                                      bool reputation_enabled, util::Rng& rng,
+                                      fault::RetryBudget& budget) const;
 
   FogManagerConfig cfg_;
   const Cloud& cloud_;
   const net::LatencyModel& latency_;
+  const fault::FaultState* faults_ = nullptr;
 };
 
 }  // namespace cloudfog::core

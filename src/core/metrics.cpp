@@ -52,6 +52,14 @@ obs::StatSummary stat_of(const char* name, const util::SampleSet& s) {
   return out;
 }
 
+obs::StatSummary counter_of(const char* name, std::uint64_t value) {
+  obs::StatSummary out;
+  out.name = name;
+  out.count = value;
+  out.mean = static_cast<double>(value);
+  return out;
+}
+
 }  // namespace
 
 obs::RunSummary summarize_run(const RunMetrics& m, std::string label,
@@ -72,6 +80,11 @@ obs::RunSummary summarize_run(const RunMetrics& m, std::string label,
       stat_of("supernode_join_latency_ms", m.supernode_join_latency_ms),
       stat_of("migration_latency_ms", m.migration_latency_ms),
       stat_of("server_assignment_seconds", m.server_assignment_seconds),
+      stat_of("mttr_ms", m.mttr_ms),
+      stat_of("fallback_residency", m.fallback_residency),
+      counter_of("sessions_interrupted", m.sessions_interrupted),
+      counter_of("cloud_fallbacks", m.fallbacks),
+      counter_of("fog_returns", m.fog_returns),
   };
   return run;
 }

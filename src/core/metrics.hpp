@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/qos_engine.hpp"
@@ -29,6 +30,15 @@ struct RunMetrics {
   util::SampleSet supernode_join_latency_ms;
   util::SampleSet migration_latency_ms;
   util::SampleSet server_assignment_seconds;
+
+  // Chaos / fault-recovery metrics (all zero without a fault plan).
+  /// Per crash fault: time until the last displaced session streamed again.
+  util::SampleSet mttr_ms;
+  /// Per subcycle: fraction of online sessions in fault-driven fallback.
+  util::RunningStats fallback_residency;
+  std::uint64_t sessions_interrupted = 0;
+  std::uint64_t fallbacks = 0;    ///< fault-driven degradations to the cloud
+  std::uint64_t fog_returns = 0;  ///< fallback sessions recovered to fog
 };
 
 class MetricsCollector {
@@ -46,6 +56,17 @@ class MetricsCollector {
   void record_server_assignment(double seconds) {
     metrics_.server_assignment_seconds.add(seconds);
   }
+
+  // Chaos / fault-recovery events.
+  void record_mttr(double latency_ms) { metrics_.mttr_ms.add(latency_ms); }
+  void record_fallback_residency(double fraction) {
+    metrics_.fallback_residency.add(fraction);
+  }
+  void record_interruptions(std::uint64_t sessions) {
+    metrics_.sessions_interrupted += sessions;
+  }
+  void record_fallback() { ++metrics_.fallbacks; }
+  void record_fog_return() { ++metrics_.fog_returns; }
 
   const RunMetrics& metrics() const { return metrics_; }
   std::size_t recorded_subcycles() const { return recorded_subcycles_; }

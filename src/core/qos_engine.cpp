@@ -227,12 +227,31 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
       const double sabotage_ms = player.serving.kind == ServingKind::kSupernode
                                      ? fleet[player.serving.index].sabotage_delay_ms
                                      : 0.0;
+      // Injected faults degrade fog paths: a slow node delays frames like
+      // sabotage does; an impaired cloud→supernode update channel delays
+      // the response (the supernode renders against stale state) and drops
+      // update packets; a partition between the player's state DC and the
+      // supernode's region starves the stream entirely.
+      double fault_response_ms = 0.0;
+      double fault_video_ms = 0.0;
+      double fault_loss = 0.0;
+      if (faults_ != nullptr && faults_->any_active() &&
+          player.serving.kind == ServingKind::kSupernode) {
+        const std::size_t sn_index = player.serving.index;
+        const double slow = faults_->slow_ms(sn_index);
+        fault_response_ms = slow + faults_->channel().update_delay_ms;
+        fault_video_ms = slow;
+        fault_loss = faults_->channel().update_loss;
+        if (faults_->partitioned_from_supernode(player.state_dc, sn_index)) {
+          fault_loss = 1.0;
+        }
+      }
       const double response_ms = base_latency_ms(player, player.serving, fleet, cloud, cdn) +
-                                 transfer_ms + sabotage_ms;
+                                 transfer_ms + sabotage_ms + fault_response_ms;
       // Video packets only traverse entity → player; the action path and
       // state computation delay the *response*, not packet delivery.
-      const double video_ms =
-          latency_.one_way_ms(e, player.info.endpoint) + transfer_ms + sabotage_ms;
+      const double video_ms = latency_.one_way_ms(e, player.info.endpoint) + transfer_ms +
+                              sabotage_ms + fault_video_ms;
       const double jitter_ms =
           cfg_.base_jitter_ms * (1.0 + cfg_.jitter_inflation * load.utilization()) +
           cfg_.path_jitter_fraction * rtt;
@@ -243,6 +262,7 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
       path.jitter_mean_ms = jitter_ms;
       path.throughput_kbps = throughput_kbps;
       path.interval_s = cfg_.substep_seconds;
+      path.extra_loss = fault_loss;
       const auto sample = player.session->observe(path);
 
       acc[i].latency_sum += sample.response_latency_ms;

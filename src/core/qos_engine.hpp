@@ -28,6 +28,7 @@
 
 #include "core/cloud.hpp"
 #include "core/entities.hpp"
+#include "fault/fault_state.hpp"
 #include "game/game_catalog.hpp"
 #include "net/latency_model.hpp"
 #include "video/qoe.hpp"
@@ -75,6 +76,11 @@ class QosEngine {
 
   const QosEngineConfig& config() const { return cfg_; }
 
+  /// Attaches the live fault projection (nullptr detaches). Active slow
+  /// nodes, partitions and update-channel impairments then degrade the
+  /// fog-served paths.
+  void set_fault_state(const fault::FaultState* faults) { faults_ = faults; }
+
   /// Advances one subcycle. Mutates sessions (adaptation, continuity) and
   /// the demand tallies on entities.
   SubcycleQos run_subcycle(std::vector<PlayerState>& players,
@@ -115,6 +121,7 @@ class QosEngine {
   const net::LatencyModel& latency_;
   const game::GameCatalog& catalog_;
   video::QoeModel qoe_;
+  const fault::FaultState* faults_ = nullptr;
 };
 
 }  // namespace cloudfog::core

@@ -154,6 +154,129 @@ System::System(const Testbed& testbed, SystemConfig cfg, std::uint64_t seed)
   if (cfg_.strategies.social_assignment) reassign_servers(/*day=*/0, /*record_latency=*/false);
 
   remaining_subcycles_.assign(players_.size(), 0);
+
+  fallback_ = fault::FallbackGovernor(cfg_.fallback);
+  if (cfg_.faults.enabled && cfg_.architecture == Architecture::kCloudFog) {
+    setup_fault_injection(seed);
+  }
+}
+
+void System::setup_fault_injection(std::uint64_t seed) {
+  fault::FaultPlanConfig pc = cfg_.faults;
+  pc.supernode_count = fleet_.size();
+  pc.region_count = cloud_.datacenter_count();
+  if (pc.seed == 0) pc.seed = util::splitmix64(seed ^ 0xc4a05u);
+  pc.seed = fault::fault_seed_from_env(pc.seed);
+  // Victim selection draws from its own stream — rng_.fork would perturb
+  // the shared stream and break the disabled-vs-empty-plan equivalence.
+  fault_rng_ = util::Rng(util::splitmix64(pc.seed ^ util::hash64("victims")),
+                         util::hash64("victims"));
+
+  fault_state_.resize(fleet_.size(), cloud_.datacenter_count());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    fault_state_.set_supernode_region(i, cloud_.nearest_datacenter(fleet_[i].endpoint));
+  }
+  fallback_.resize(players_.size());
+
+  injector_ = std::make_unique<fault::FaultInjector>(
+      fault_sim_, fault_state_, fault::FaultPlan::generate(pc),
+      [this](const fault::FaultSpec& spec) { return on_crash(spec); },
+      [this](const fault::FaultSpec& spec, std::size_t target) {
+        on_crash_cleared(spec, target);
+      });
+  injector_->arm();
+  qos_.set_fault_state(&fault_state_);
+  fog_.set_fault_state(&fault_state_);
+}
+
+std::size_t System::on_crash(const fault::FaultSpec& spec) {
+  // Resolve the victim: an explicitly-named node, else prefer a serving
+  // node (a crash nobody was streaming from is a non-event), else any
+  // deployed live node.
+  std::size_t target = spec.target;
+  if (target == fault::kAnyTarget || target >= fleet_.size()) {
+    std::vector<std::size_t> serving;
+    std::vector<std::size_t> idle;
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      if (!fleet_[i].deployed || fleet_[i].failed) continue;
+      (fleet_[i].served > 0 ? serving : idle).push_back(i);
+    }
+    const auto& pool = serving.empty() ? idle : serving;
+    if (pool.empty()) return fault::kAnyTarget;
+    target = pool[static_cast<std::size_t>(
+        fault_rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  } else if (fleet_[target].failed) {
+    return fault::kAnyTarget;  // already down — an overlapping crash is moot
+  }
+
+  fleet_[target].failed = true;
+  fallback_.note_fleet_change(fault_sim_.now());
+
+  auto& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    rec.registry().add(sys_obs().supernode_failures);
+    rec.trace(obs::EventKind::kSupernodeChurn, static_cast<std::int64_t>(target),
+              static_cast<std::int64_t>(current_day_));
+  }
+
+  // Displace every session the node was serving. The restore gap charges
+  // the stream as dead air, and the victim immediately rates the node with
+  // zero continuity (§3.2.2: reputation must decay fast enough that a
+  // flapping node drops out of candidate lists on rejoin).
+  double worst_restore_ms = 0.0;
+  std::uint64_t displaced = 0;
+  for (std::size_t idx = 0; idx < players_.size(); ++idx) {
+    PlayerState& p = players_[idx];
+    if (!p.online || p.serving.kind != ServingKind::kSupernode || p.serving.index != target) {
+      continue;
+    }
+    SupernodeState& sn = fleet_[target];
+    CLOUDFOG_REQUIRE(sn.served > 0, "supernode load underflow");
+    --sn.served;
+    p.serving = ServingRef{};
+    p.reputation.add_rating(target, 0.0, current_day_);
+
+    util::Rng mig_rng = rng_.fork("migrate");
+    const auto outcome = fog_.migrate(p, fleet_, testbed_.catalog(), current_day_,
+                                      cfg_.strategies.reputation, mig_rng);
+    if (!outcome.serving.attached()) {
+      p.serving = ServingRef{ServingKind::kCloud, p.state_dc};
+    }
+    if (p.serving.kind == ServingKind::kSupernode) {
+      p.rated_supernode_this_cycle = p.serving.index;
+    } else if (p.serving.kind == ServingKind::kCloud) {
+      fallback_.enter(idx, fault_sim_.now());
+      collector_.record_fallback();
+      if (rec.enabled()) {
+        rec.trace(obs::EventKind::kCloudFallback, static_cast<std::int64_t>(p.info.id),
+                  static_cast<std::int64_t>(target), outcome.join_latency_ms);
+      }
+    }
+    if (p.session.has_value()) p.session->charge_outage(outcome.join_latency_ms / 1000.0);
+    worst_restore_ms = std::max(worst_restore_ms, outcome.join_latency_ms);
+    ++displaced;
+    collector_.record_migration(outcome.join_latency_ms);
+    if (rec.enabled()) {
+      rec.registry().add(sys_obs().migrations);
+      rec.registry().observe(sys_obs().migration_ms, outcome.join_latency_ms);
+      rec.trace(obs::EventKind::kMigration, static_cast<std::int64_t>(p.info.id),
+                p.serving.attached() ? static_cast<std::int64_t>(p.serving.index) : -1,
+                outcome.join_latency_ms);
+    }
+  }
+  if (displaced > 0) {
+    collector_.record_interruptions(displaced);
+    // MTTR of this fault: every displaced session streams again once the
+    // slowest restore finishes.
+    collector_.record_mttr(worst_restore_ms);
+  }
+  return target;
+}
+
+void System::on_crash_cleared(const fault::FaultSpec& spec, std::size_t target) {
+  (void)spec;
+  if (target < fleet_.size()) fleet_[target].failed = false;
+  fallback_.note_fleet_change(fault_sim_.now());
 }
 
 void System::roll_daily_sessions(int day) {
@@ -290,6 +413,7 @@ void System::detach_player(PlayerState& p) {
   }
   p.session.reset();
   p.online = false;
+  fallback_.exit(static_cast<std::size_t>(&p - players_.data()));
 
   auto& rec = obs::Recorder::global();
   if (rec.enabled()) {
@@ -353,6 +477,11 @@ void System::retry_cloud_fallback(PlayerState& p, int day) {
   // improvement, not a join.
   if (cfg_.architecture != Architecture::kCloudFog) return;
   if (p.serving.kind != ServingKind::kCloud) return;
+  const auto idx = static_cast<std::size_t>(&p - players_.data());
+  // Hysteresis: a fault-driven fallback session stays on the cloud until
+  // its residency and the fleet-stability window both elapse — the hourly
+  // retry otherwise bounces it straight back into a churning fleet.
+  if (injector_ != nullptr && fallback_.blocked(idx, fault_sim_.now())) return;
   util::Rng retry_rng = rng_.fork("retry");
   const auto outcome = fog_.select_supernode(p, fleet_, testbed_.catalog(), day,
                                              cfg_.strategies.reputation, retry_rng);
@@ -360,6 +489,14 @@ void System::retry_cloud_fallback(PlayerState& p, int day) {
     p.rated_supernode_this_cycle = outcome.serving.index;
     auto& rec = obs::Recorder::global();
     if (rec.enabled()) rec.registry().add(sys_obs().cloud_rescues);
+    if (fallback_.in_fallback(idx)) {
+      fallback_.exit(idx);
+      collector_.record_fog_return();
+      if (rec.enabled()) {
+        rec.trace(obs::EventKind::kFogReturn, static_cast<std::int64_t>(p.info.id),
+                  static_cast<std::int64_t>(outcome.serving.index));
+      }
+    }
   }
   // select_supernode re-attaches to the cloud itself on failure.
 }
@@ -457,9 +594,15 @@ void System::migrate_players_off_undeployed(int day) {
 
 SubcycleQos System::run_subcycle(int day, int subcycle, bool warmup, bool peak) {
   auto& rec = obs::Recorder::global();
+  const int per_day = testbed_.activity().config().subcycles_per_day;
   if (rec.enabled()) {
-    const int per_day = testbed_.activity().config().subcycles_per_day;
     rec.set_sim_time(((day - 1) * per_day + (subcycle - 1)) * 3600.0);
+  }
+  current_day_ = day;
+  if (injector_ != nullptr) {
+    // Fire every fault scheduled inside this subcycle's hour before the
+    // population and QoS passes see the world.
+    fault_sim_.run_until(((day - 1) * per_day + subcycle) * 3600.0);
   }
   {
     CLOUDFOG_TIMED_SCOPE("population");
@@ -472,6 +615,10 @@ SubcycleQos System::run_subcycle(int day, int subcycle, bool warmup, bool peak) 
   }
   const SubcycleQos qos = qos_.run_subcycle(players_, fleet_, cloud_, cdn_);
   collector_.record_subcycle(qos, warmup);
+  if (injector_ != nullptr && !warmup && qos.online_sessions > 0) {
+    collector_.record_fallback_residency(static_cast<double>(fallback_.active_count()) /
+                                         static_cast<double>(qos.online_sessions));
+  }
   if (rec.enabled()) {
     rec.registry().set(sys_obs().online, static_cast<double>(qos.online_sessions));
     rec.trace(obs::EventKind::kSubcycle, day, subcycle,

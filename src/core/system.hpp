@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,7 +22,9 @@
 #include "core/provisioner.hpp"
 #include "core/qos_engine.hpp"
 #include "core/testbed.hpp"
+#include "fault/fault.hpp"
 #include "sim/cycle_driver.hpp"
+#include "sim/simulator.hpp"
 #include "social/community_partitioner.hpp"
 #include "social/friendship_tracker.hpp"
 #include "video/rate_adapter.hpp"
@@ -92,6 +95,15 @@ struct SystemConfig {
   int partitioner_swap_trials = 50000;  ///< h1
   int partitioner_miss_limit = 5000;    ///< h2
 
+  /// Chaos schedule (CloudFog arms only; `faults.enabled` gates everything —
+  /// disabled leaves every run bit-identical to a build without the
+  /// subsystem). supernode_count / region_count / horizon are filled in by
+  /// the System; a zero `faults.seed` derives one from the system seed, and
+  /// CLOUDFOG_FAULT_SEED overrides either.
+  fault::FaultPlanConfig faults;
+  /// Hysteresis for fault-driven cloud fallback (§ DESIGN.md 8.3).
+  fault::FallbackConfig fallback;
+
   std::size_t supernode_count = 600;  ///< fleet size (CloudFog arms)
   /// Supernodes deployed when provisioning is off (0 = entire fleet) —
   /// the fixed pool of the §4.3.4 CloudFog/B arm.
@@ -125,6 +137,11 @@ class System {
   std::vector<double> inject_supernode_failures(std::size_t count, int day);
   void recover_supernodes();
 
+  /// Chaos-run introspection (meaningful only with `faults.enabled`).
+  const fault::FaultState& fault_state() const { return fault_state_; }
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+  const fault::FallbackGovernor& fallback_governor() const { return fallback_; }
+
   /// Fig. 9: wall-clock seconds of one social server-assignment pass over
   /// the current population.
   double measure_server_assignment_seconds();
@@ -148,6 +165,11 @@ class System {
   void maybe_run_provisioning(int day, int subcycle);
   void reassign_servers(int day, bool record_latency);
   void migrate_players_off_undeployed(int day);
+  void setup_fault_injection(std::uint64_t seed);
+  /// FaultInjector crash hooks: fail the victim (resolving kAnyTarget) and
+  /// displace its players; un-fail it on clear.
+  std::size_t on_crash(const fault::FaultSpec& spec);
+  void on_crash_cleared(const fault::FaultSpec& spec, std::size_t target);
 
   const Testbed& testbed_;
   SystemConfig cfg_;
@@ -170,6 +192,18 @@ class System {
   /// temporary capacity above this pool and releases back down to it,
   /// never below (§3.5 pre-deploys *extra* supernodes before peaks).
   std::size_t base_deployment_ = 0;
+
+  // Fault-injection state. The fault simulator's clock is the global
+  // subcycle hour; run_subcycle advances it to each subcycle boundary so
+  // scheduled faults fire between QoS evaluations. `fault_rng_` is seeded
+  // from the raw system seed (not rng_.fork, which mutates the parent) so
+  // the no-fault stream stays bit-identical.
+  sim::Simulator fault_sim_;
+  fault::FaultState fault_state_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  fault::FallbackGovernor fallback_;
+  util::Rng fault_rng_;
+  int current_day_ = 1;  ///< day seen by the crash hooks for rating decay
 
   // Arrival-rate workload state.
   std::vector<int> remaining_subcycles_;  ///< per player; 0 = offline

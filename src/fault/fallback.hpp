@@ -1,0 +1,84 @@
+// Hysteresis for the cloud-fallback degradation path.
+//
+// When migration exhausts its deadline budget the session falls back to
+// direct cloud streaming — the always-available but higher-latency path.
+// Without hysteresis, the hourly cloud→fog retry would bounce the session
+// straight back to a fog that is still churning ("flapping"), paying a
+// migration interruption each bounce. The governor blocks the return until
+// (a) the session has sat in fallback for a minimum residency, and (b) the
+// candidate set — approximated by fleet membership — has been stable for a
+// configurable window.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cloudfog::fault {
+
+struct FallbackConfig {
+  /// Minimum time a session stays on the cloud after a fault-driven
+  /// fallback before a fog return may be considered (seconds).
+  double min_residency_s = 3600.0;
+  /// The fleet (candidate set) must have been free of crashes/recoveries
+  /// for this long before fallback sessions may return to fog (seconds).
+  double stability_window_s = 7200.0;
+};
+
+class FallbackGovernor {
+ public:
+  explicit FallbackGovernor(FallbackConfig cfg = {}) : cfg_(cfg) {}
+
+  void resize(std::size_t players) { entered_at_.assign(players, kNotInFallback); }
+
+  /// Records a fleet membership change (crash, recovery, withdrawal) —
+  /// restarts the stability window for everyone.
+  void note_fleet_change(double t_s) { last_fleet_change_s_ = t_s; }
+
+  /// Player entered fault-driven cloud fallback at time `t_s`.
+  void enter(std::size_t player, double t_s) {
+    if (player >= entered_at_.size()) return;
+    if (entered_at_[player] == kNotInFallback) ++entries_;
+    entered_at_[player] = t_s;
+  }
+
+  /// Player returned to fog (or left); forgets the fallback state.
+  void exit(std::size_t player) {
+    if (player < entered_at_.size() && entered_at_[player] != kNotInFallback) {
+      entered_at_[player] = kNotInFallback;
+      ++exits_;
+    }
+  }
+
+  bool in_fallback(std::size_t player) const {
+    return player < entered_at_.size() && entered_at_[player] != kNotInFallback;
+  }
+
+  /// True while hysteresis forbids this player's return to fog.
+  bool blocked(std::size_t player, double t_s) const {
+    if (!in_fallback(player)) return false;
+    if (t_s - entered_at_[player] < cfg_.min_residency_s) return true;
+    return t_s - last_fleet_change_s_ < cfg_.stability_window_s;
+  }
+
+  std::size_t active_count() const {
+    std::size_t n = 0;
+    for (const double t : entered_at_) n += (t != kNotInFallback) ? 1 : 0;
+    return n;
+  }
+
+  std::uint64_t entries() const { return entries_; }
+  std::uint64_t exits() const { return exits_; }
+  const FallbackConfig& config() const { return cfg_; }
+
+ private:
+  static constexpr double kNotInFallback = -1.0;
+
+  FallbackConfig cfg_;
+  std::vector<double> entered_at_;
+  double last_fleet_change_s_ = -1.0e18;  ///< "stable forever" until a change
+  std::uint64_t entries_ = 0;
+  std::uint64_t exits_ = 0;
+};
+
+}  // namespace cloudfog::fault

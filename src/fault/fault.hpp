@@ -1,0 +1,8 @@
+// Umbrella header for the fault-injection subsystem.
+#pragma once
+
+#include "fault/fallback.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_state.hpp"
+#include "fault/retry_policy.hpp"

@@ -1,0 +1,112 @@
+// Deterministic fault schedules.
+//
+// A FaultPlan is a time-ordered list of typed FaultSpecs covering the whole
+// run horizon, generated up front from a seed (or handed in explicitly).
+// Because the schedule is data — not decisions made while the simulation
+// runs — the same (plan seed, system seed) pair always produces the exact
+// same fault/recovery sequence, and a chaos run can be replayed from a CI
+// log via the CLOUDFOG_FAULT_SEED override.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cloudfog::fault {
+
+enum class FaultKind : std::uint8_t {
+  kSupernodeCrash,    ///< fail-stop: the node vanishes without notice (§3.2.2)
+  kSlowNode,          ///< render/encode latency inflated by `magnitude` ms
+  kNetworkPartition,  ///< regions `target` and `target_b` cannot reach each other
+  kPacketLossBurst,   ///< cloud→supernode update channel drops `magnitude` of packets
+  kMessageDelayBurst, ///< cloud→supernode updates delayed by `magnitude` ms
+  kProbeBlackhole,    ///< node silently drops probes (looks dead, is not)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Target wildcard: the executor picks a victim at apply time (e.g. a
+/// supernode that is actually serving players, for maximum blast radius).
+inline constexpr std::size_t kAnyTarget = static_cast<std::size_t>(-1);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kSupernodeCrash;
+  double at_s = 0.0;       ///< injection time on the simulation clock
+  double duration_s = 0.0; ///< <= 0 means the fault never clears on its own
+  /// Supernode index, or region index for partitions, or kAnyTarget.
+  std::size_t target = kAnyTarget;
+  /// Second region of a partition; unused by other kinds.
+  std::size_t target_b = kAnyTarget;
+  /// Kind-specific intensity: added ms for slow/delay, loss fraction for
+  /// packet loss; unused by crash/partition/blackhole.
+  double magnitude = 0.0;
+
+  bool permanent() const { return duration_s <= 0.0; }
+};
+
+/// Relative weights of each fault kind in a generated plan.
+struct FaultMix {
+  double crash = 1.0;
+  double slow_node = 1.0;
+  double partition = 0.25;
+  double loss_burst = 0.5;
+  double delay_burst = 0.5;
+  double blackhole = 0.25;
+
+  double total() const {
+    return crash + slow_node + partition + loss_burst + delay_burst + blackhole;
+  }
+};
+
+struct FaultPlanConfig {
+  /// Master switch. When false the injector is never constructed and the
+  /// simulation byte-for-byte matches a build without the fault layer.
+  bool enabled = false;
+  /// Length of the schedule (seconds of sim time to cover).
+  double horizon_s = 0.0;
+  /// Mean total fault arrival rate across all kinds.
+  double faults_per_hour = 0.0;
+  FaultMix mix;
+  /// Mean of the exponential fault-duration draw (clamped to >= 60 s).
+  double mean_duration_s = 1800.0;
+  /// Latency added by a slow-node fault (ms).
+  double slow_ms = 40.0;
+  /// Delay added by an update-channel delay burst (ms).
+  double delay_ms = 120.0;
+  /// Loss fraction of an update-channel loss burst.
+  double loss_fraction = 0.3;
+  /// Target spaces for random victim selection.
+  std::size_t supernode_count = 0;
+  std::size_t region_count = 0;
+  /// Plan seed; 0 = derive from the owning system's seed.
+  std::uint64_t seed = 0;
+  /// Hand-written specs merged into the generated schedule (used by
+  /// failure_rate_sweep to express exact per-cycle crash bursts).
+  std::vector<FaultSpec> extra_specs;
+};
+
+class FaultPlan {
+ public:
+  /// Draws a schedule from `cfg`: per-kind Poisson arrival walks over the
+  /// horizon with exponential durations, merged with cfg.extra_specs and
+  /// sorted by injection time (stable for equal times).
+  static FaultPlan generate(const FaultPlanConfig& cfg);
+
+  /// Wraps an explicit spec list (sorted by time) with no random drawing.
+  static FaultPlan from_specs(std::vector<FaultSpec> specs);
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+  std::size_t size() const { return specs_.size(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+/// Resolves the effective plan seed: the CLOUDFOG_FAULT_SEED environment
+/// variable wins (so CI logs reproduce locally), else `fallback`.
+std::uint64_t fault_seed_from_env(std::uint64_t fallback);
+
+}  // namespace cloudfog::fault

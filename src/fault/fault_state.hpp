@@ -1,0 +1,107 @@
+// Live view of the currently-active faults.
+//
+// The injector owns the schedule; this struct is the cheap, queryable
+// projection the data path reads: "how slow is node i right now", "are
+// regions a and b partitioned", "what impairments does the update channel
+// carry". Crash faults are NOT mirrored here — a crash flips the
+// simulation's own SupernodeState::failed flag through the apply hook, so
+// there is exactly one source of truth for liveness.
+//
+// The injector rebuilds this projection from its active-fault list on
+// every apply/clear, so overlapping faults of the same kind compose
+// correctly (two slow faults add; clearing one leaves the other).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudfog::fault {
+
+/// Aggregate impairment of the cloud→supernode update channel.
+struct ChannelImpairments {
+  double update_loss = 0.0;      ///< fraction of update packets dropped
+  double update_delay_ms = 0.0;  ///< extra one-way delay on updates
+};
+
+class FaultState {
+ public:
+  void resize(std::size_t supernodes, std::size_t regions) {
+    slow_ms_.assign(supernodes, 0.0);
+    blackhole_.assign(supernodes, 0);
+    supernode_region_.assign(supernodes, 0);
+    partitioned_.assign(regions * regions, 0);
+    regions_ = regions;
+    channel_ = {};
+    any_active_ = false;
+  }
+
+  void clear_faults() {
+    std::fill(slow_ms_.begin(), slow_ms_.end(), 0.0);
+    std::fill(blackhole_.begin(), blackhole_.end(), 0);
+    std::fill(partitioned_.begin(), partitioned_.end(), 0);
+    channel_ = {};
+    any_active_ = false;
+  }
+
+  /// Fast-path gate: false means every query below is trivially zero.
+  bool any_active() const { return any_active_; }
+  void set_any_active(bool on) { any_active_ = on; }
+
+  // -- supernode-local faults -------------------------------------------
+  double slow_ms(std::size_t supernode) const {
+    return supernode < slow_ms_.size() ? slow_ms_[supernode] : 0.0;
+  }
+  void add_slow_ms(std::size_t supernode, double ms) {
+    if (supernode < slow_ms_.size()) slow_ms_[supernode] += ms;
+  }
+
+  bool blackholed(std::size_t supernode) const {
+    return supernode < blackhole_.size() && blackhole_[supernode] != 0;
+  }
+  void add_blackhole(std::size_t supernode) {
+    if (supernode < blackhole_.size()) ++blackhole_[supernode];
+  }
+
+  // -- region topology and partitions -----------------------------------
+  std::size_t region_count() const { return regions_; }
+  void set_supernode_region(std::size_t supernode, std::size_t region) {
+    if (supernode < supernode_region_.size()) supernode_region_[supernode] = region;
+  }
+  std::size_t supernode_region(std::size_t supernode) const {
+    return supernode < supernode_region_.size() ? supernode_region_[supernode] : 0;
+  }
+
+  void add_partition(std::size_t region_a, std::size_t region_b) {
+    if (region_a < regions_ && region_b < regions_ && region_a != region_b) {
+      ++partitioned_[region_a * regions_ + region_b];
+      ++partitioned_[region_b * regions_ + region_a];
+    }
+  }
+  bool regions_partitioned(std::size_t region_a, std::size_t region_b) const {
+    if (region_a >= regions_ || region_b >= regions_) return false;
+    return partitioned_[region_a * regions_ + region_b] != 0;
+  }
+  /// Partition check between a player's region and a supernode's region.
+  bool partitioned_from_supernode(std::size_t player_region,
+                                  std::size_t supernode) const {
+    return regions_partitioned(player_region, supernode_region(supernode));
+  }
+
+  // -- update channel ----------------------------------------------------
+  const ChannelImpairments& channel() const { return channel_; }
+  void add_channel_loss(double fraction) {
+    channel_.update_loss = 1.0 - (1.0 - channel_.update_loss) * (1.0 - fraction);
+  }
+  void add_channel_delay(double ms) { channel_.update_delay_ms += ms; }
+
+ private:
+  std::vector<double> slow_ms_;
+  std::vector<int> blackhole_;
+  std::vector<std::size_t> supernode_region_;
+  std::vector<int> partitioned_;  ///< regions_ × regions_ overlap counts
+  std::size_t regions_ = 0;
+  ChannelImpairments channel_;
+  bool any_active_ = false;
+};
+
+}  // namespace cloudfog::fault

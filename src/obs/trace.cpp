@@ -20,6 +20,12 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kRateSwitch: return "rate_switch";
     case EventKind::kProvisioning: return "provisioning";
     case EventKind::kRating: return "rating";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kFaultCleared: return "fault_cleared";
+    case EventKind::kRetryAttempt: return "retry_attempt";
+    case EventKind::kRetryExhausted: return "retry_exhausted";
+    case EventKind::kCloudFallback: return "cloud_fallback";
+    case EventKind::kFogReturn: return "fog_return";
   }
   return "unknown";
 }

@@ -32,6 +32,12 @@ enum class EventKind : std::uint8_t {
   kRateSwitch,      ///< subject=game, object=new level, value=+1 up / -1 down
   kProvisioning,    ///< value=deployed count, note=decision detail
   kRating,          ///< subject=supernode, value=rating in [0,1]
+  kFaultInjected,   ///< subject=target, object=partition peer, value=magnitude, note=kind
+  kFaultCleared,    ///< subject=target, object=partition peer, note=kind
+  kRetryAttempt,    ///< subject=attempt number, value=backoff ms, note=call site
+  kRetryExhausted,  ///< subject=attempts started, value=elapsed ms, note=call site
+  kCloudFallback,   ///< subject=player, value=restore latency ms
+  kFogReturn,       ///< subject=player, object=supernode
 };
 
 const char* event_kind_name(EventKind kind);

@@ -47,20 +47,38 @@ JoinSession::JoinSession(sim::Simulator& sim, MessageNetwork& network, Address s
       session_id_(session_id),
       rng_(rng) {
   CLOUDFOG_REQUIRE(cfg.lmax_ms > 0.0, "L_max must be positive");
-  CLOUDFOG_REQUIRE(cfg.stage_timeout_ms > 0.0, "timeout must be positive");
+  cfg_.stage.validate();
   CLOUDFOG_REQUIRE(static_cast<bool>(done_), "null completion callback");
 }
 
 void JoinSession::arm_timeout() {
   const int epoch = stage_epoch_;
   const std::weak_ptr<int> alive = alive_;
-  sim_.schedule_in(cfg_.stage_timeout_ms / 1000.0, [this, epoch, alive] {
+  sim_.schedule_in(cfg_.stage.attempt_timeout_ms / 1000.0, [this, epoch, alive] {
     if (alive.expired()) return;                     // session destroyed
     if (finished_ || epoch != stage_epoch_) return;  // the stage moved on
     switch (stage_) {
-      case Stage::kCandidates:
-        finish_candidates();
+      case Stage::kCandidates: {
+        double backoff_ms = 0.0;
+        if (candidates_budget_ &&
+            candidates_budget_->next_attempt(rng_, &backoff_ms)) {
+          // The directory stayed silent: re-ask it (after any backoff)
+          // rather than settling for whatever trickled in.
+          if (backoff_ms > 0.0) {
+            const int resend_epoch = stage_epoch_;
+            const std::weak_ptr<int> still = alive_;
+            sim_.schedule_in(backoff_ms / 1000.0, [this, resend_epoch, still] {
+              if (still.expired() || finished_ || resend_epoch != stage_epoch_) return;
+              send_candidate_request();
+            });
+          } else {
+            send_candidate_request();
+          }
+        } else {
+          finish_candidates();
+        }
         break;
+      }
       case Stage::kProbing:
         finish_probing();
         break;
@@ -81,6 +99,12 @@ void JoinSession::start() {
   started_at_ms_ = sim_.now() * 1000.0;
   stage_ = Stage::kCandidates;
   ++stage_epoch_;
+  candidates_budget_.emplace(cfg_.stage, "join.candidates");
+  candidates_budget_->next_attempt(rng_);
+  send_candidate_request();
+}
+
+void JoinSession::send_candidate_request() {
   Message req;
   req.src = self_;
   req.dst = directory_;

@@ -19,6 +19,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "fault/retry_policy.hpp"
 #include "overlay/agents.hpp"
 #include "overlay/probe_monitor.hpp"
 #include "sim/simulator.hpp"
@@ -28,8 +29,11 @@ namespace cloudfog::overlay {
 struct JoinConfig {
   /// L_max — maximum acceptable one-way transmission delay (ms).
   double lmax_ms = 110.0;
-  /// Per-stage timeout: give up waiting for stragglers and move on.
-  double stage_timeout_ms = 1000.0;
+  /// Per-stage policy. attempt_timeout_ms bounds each stage's wait for
+  /// stragglers; max_attempts > 1 additionally lets the candidate stage
+  /// re-send its directory request (with the policy's backoff) when the
+  /// directory stays silent, instead of giving up after one timeout.
+  fault::RetryPolicy stage = fault::RetryPolicy::single_attempt(1000.0);
 };
 
 struct JoinResult {
@@ -59,6 +63,7 @@ class JoinSession {
   enum class Stage { kIdle, kCandidates, kProbing, kClaiming, kDone };
 
   void arm_timeout();
+  void send_candidate_request();
   void finish_candidates();
   void finish_probing();
   void next_claim();
@@ -79,6 +84,8 @@ class JoinSession {
   double started_at_ms_ = 0.0;
   bool finished_ = false;
 
+  /// Tracks candidate-request (re)sends against cfg_.stage.
+  std::optional<fault::RetryBudget> candidates_budget_;
   std::vector<Address> candidates_;
   std::unordered_map<Address, double> probe_sent_ms_;
   std::vector<std::pair<Address, double>> probed_rtt_ms_;  // qualified only

@@ -15,9 +15,12 @@ ProbeMonitor::ProbeMonitor(sim::Simulator& sim, MessageNetwork& network, Address
       self_(self),
       target_(target),
       cfg_(cfg),
-      on_failure_(std::move(on_failure)) {
-  CLOUDFOG_REQUIRE(cfg.period_ms > 0.0, "probe period must be positive");
-  CLOUDFOG_REQUIRE(cfg.miss_limit >= 1, "miss limit must be at least 1");
+      on_failure_(std::move(on_failure)),
+      backoff_rng_(util::hash64("probe_backoff") ^ (static_cast<std::uint64_t>(self) << 20),
+                   target) {
+  cfg_.policy.validate();
+  CLOUDFOG_REQUIRE(cfg_.policy.max_attempts >= 1,
+                   "liveness policy needs a bounded miss limit");
   CLOUDFOG_REQUIRE(static_cast<bool>(on_failure_), "null failure callback");
   tick();
 }
@@ -34,15 +37,23 @@ void ProbeMonitor::on_message(const Message& msg) {
   if (msg.kind == MessageKind::kLivenessReply && msg.src == target_) {
     awaiting_reply_ = false;
     misses_ = 0;
+    streak_.reset();
   }
 }
 
 void ProbeMonitor::tick() {
   if (!running_) return;
+  double backoff_ms = 0.0;
   if (awaiting_reply_) {
     // The previous probe went unanswered for a full period.
     ++misses_;
-    if (misses_ >= cfg_.miss_limit) {
+    if (!streak_) {
+      streak_.emplace(cfg_.policy, "overlay.liveness");
+      // The probe that opened the streak was the first attempt.
+      streak_->next_attempt(backoff_rng_);
+    }
+    if (!streak_->next_attempt(backoff_rng_, &backoff_ms)) {
+      // The policy's attempts are spent: declare the supernode dead.
       running_ = false;
       auto& rec = obs::Recorder::global();
       if (rec.enabled()) {
@@ -77,9 +88,12 @@ void ProbeMonitor::tick() {
 
   const int epoch = epoch_;
   const std::weak_ptr<int> alive = alive_;
-  sim_.schedule_in(cfg_.period_ms / 1000.0, [this, epoch, alive] {
-    if (!alive.expired() && epoch == epoch_) tick();
-  });
+  // A jittered/backed-off policy stretches the wait before the next miss
+  // is counted; the default liveness policy keeps the flat probe period.
+  sim_.schedule_in((cfg_.policy.attempt_timeout_ms + backoff_ms) / 1000.0,
+                   [this, epoch, alive] {
+                     if (!alive.expired() && epoch == epoch_) tick();
+                   });
 }
 
 }  // namespace cloudfog::overlay

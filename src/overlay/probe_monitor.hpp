@@ -2,23 +2,29 @@
 // their supernodes periodically for connection maintenance").
 //
 // Every period the monitor sends a LivenessProbe; a reply arriving before
-// the next tick resets the miss counter. After `miss_limit` consecutive
-// silent periods the supernode is declared dead and the failure callback
+// the next tick resets the miss counter. The timing is a fault::RetryPolicy
+// — attempt_timeout_ms is the probe period, max_attempts the miss limit —
+// so detection time is the policy's detection_ms() and a miss streak is an
+// ordinary retry sequence (optionally backed off) with the shared
+// fault.retries / fault.exhaustions accounting. After the policy's
+// attempts run out the supernode is declared dead and the failure callback
 // fires (once) with the detection timestamp — the first component of the
 // paper's ~0.8 s migration latency.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 
+#include "fault/retry_policy.hpp"
 #include "overlay/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace cloudfog::overlay {
 
 struct ProbeMonitorConfig {
-  double period_ms = 250.0;
-  int miss_limit = 2;
+  /// attempt_timeout_ms = probe period, max_attempts = miss limit.
+  fault::RetryPolicy policy = fault::RetryPolicy::liveness();
 };
 
 class ProbeMonitor {
@@ -52,6 +58,10 @@ class ProbeMonitor {
   bool running_ = true;
   bool awaiting_reply_ = false;
   int misses_ = 0;
+  /// Live only during a miss streak; tracks the streak against the policy
+  /// and emits the shared retry/exhaustion telemetry.
+  std::optional<fault::RetryBudget> streak_;
+  util::Rng backoff_rng_;  ///< consumed only by jittered backoff policies
   int epoch_ = 0;  // invalidates queued ticks after stop()
   /// Queued simulator callbacks hold a weak reference to this token; if
   /// the monitor is destroyed before they fire, they observe expiry

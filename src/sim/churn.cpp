@@ -18,7 +18,12 @@ void ArrivalProcess::set_rate(double rate) {
   CLOUDFOG_REQUIRE(rate >= 0.0, "arrival rate must be non-negative");
   const bool was_paused = rate_ == 0.0;
   rate_ = rate;
-  if (running_ && was_paused && rate_ > 0.0) arm();
+  if (running_ && was_paused && rate_ > 0.0) {
+    // The pause left the last scheduled arrival in the queue; cancel it
+    // before arming, or two event chains would run side by side.
+    sim_.cancel(pending_);
+    arm();
+  }
   // A lowered (nonzero) rate applies from the next gap; cancelling the
   // in-flight arrival would bias the process.
 }
@@ -27,12 +32,17 @@ void ArrivalProcess::stop() {
   if (!running_) return;
   running_ = false;
   sim_.cancel(pending_);
+  // Invalidate any event that cancel() missed (e.g. one orphaned by a
+  // pause/resume before this fix shipped, or a future regression): an
+  // expired token makes the callback a no-op instead of a use-after-free.
+  alive_.reset();
 }
 
 void ArrivalProcess::arm() {
   const double gap = util::sample_exponential(rng_, rate_);
-  pending_ = sim_.schedule_in(gap, [this] {
-    if (!running_) return;
+  const std::weak_ptr<int> alive = alive_;
+  pending_ = sim_.schedule_in(gap, [this, alive] {
+    if (alive.expired() || !running_) return;
     ++arrivals_;
     hook_(sim_.now());
     if (running_ && rate_ > 0.0) arm();

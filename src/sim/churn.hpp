@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,9 @@ class ArrivalProcess {
   EventId pending_ = 0;
   bool running_ = true;
   std::size_t arrivals_ = 0;
+  /// Liveness token: scheduled events hold a weak_ptr so an event left in
+  /// the queue past stop()/destruction can never fire into a dead hook.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 /// Converts a per-minute arrival rate (how the paper quotes peak rates)

@@ -20,6 +20,11 @@ QosSample StreamSession::observe(const PathObservation& path) {
   sample.continuity =
       packet_continuity(path.video_latency_ms, game_info().latency_requirement_ms,
                         path.jitter_mean_ms, path.throughput_kbps, sample.bitrate_kbps);
+  if (path.extra_loss > 0.0) {
+    // Injected channel loss removes packets regardless of timeliness. The
+    // branch keeps the no-fault floating-point path bit-identical.
+    sample.continuity *= 1.0 - path.extra_loss;
+  }
 
   const double packets = game::kFramesPerSecond * path.interval_s;
   meter_.add(sample.continuity, packets);
@@ -27,6 +32,12 @@ QosSample StreamSession::observe(const PathObservation& path) {
   const auto outcome = adapter_.step(path.interval_s, path.throughput_kbps * 1000.0);
   sample.decision = outcome.decision;
   return sample;
+}
+
+void StreamSession::charge_outage(double outage_s) {
+  CLOUDFOG_REQUIRE(outage_s >= 0.0, "outage must be non-negative");
+  if (outage_s == 0.0) return;
+  meter_.add(0.0, game::kFramesPerSecond * outage_s);
 }
 
 }  // namespace cloudfog::video

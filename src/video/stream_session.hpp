@@ -29,6 +29,9 @@ struct PathObservation {
   double throughput_kbps = 0.0;
   /// Interval length in seconds.
   double interval_s = 1.0;
+  /// Fraction of packets lost outright on top of lateness (injected
+  /// update-channel loss; 0 leaves the continuity computation untouched).
+  double extra_loss = 0.0;
 };
 
 struct QosSample {
@@ -54,6 +57,12 @@ class StreamSession {
   /// Session-lifetime continuity (packet-weighted).
   double session_continuity() const { return meter_.continuity(); }
   bool satisfied() const { return meter_.satisfied(); }
+
+  /// Charges a streaming interruption: `outage_s` seconds during which no
+  /// packet arrived on time (migration gap, fault-driven fallback). Uses
+  /// the same packet weighting as observe(), so the outage dilutes the
+  /// lifetime continuity exactly as a fully-late interval would.
+  void charge_outage(double outage_s);
 
   /// Resets lifetime accounting (a new game/day) but keeps the adapter's
   /// learned level.

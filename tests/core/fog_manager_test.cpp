@@ -125,7 +125,7 @@ TEST_F(FogManagerTest, MigrationUsesCandidateCacheFirst) {
   EXPECT_EQ(outcome.serving.kind, ServingKind::kSupernode);
   EXPECT_NE(outcome.serving.index, original);
   // Migration pays the detection timeout on top of the probes.
-  EXPECT_GE(outcome.join_latency_ms, FogManagerConfig{}.detection_timeout_ms);
+  EXPECT_GE(outcome.join_latency_ms, FogManagerConfig{}.detection.detection_ms());
 }
 
 TEST_F(FogManagerTest, MigrationLatencyIsSubSecondScale) {

@@ -1,0 +1,82 @@
+#include "fault/fallback.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::fault {
+namespace {
+
+FallbackConfig quick_cfg() {
+  FallbackConfig cfg;
+  cfg.min_residency_s = 100.0;
+  cfg.stability_window_s = 200.0;
+  return cfg;
+}
+
+TEST(FallbackGovernor, TracksEntriesExitsAndActiveCount) {
+  FallbackGovernor gov(quick_cfg());
+  gov.resize(4);
+  EXPECT_EQ(gov.active_count(), 0u);
+  EXPECT_FALSE(gov.in_fallback(0));
+
+  gov.enter(0, 10.0);
+  gov.enter(2, 15.0);
+  EXPECT_TRUE(gov.in_fallback(0));
+  EXPECT_FALSE(gov.in_fallback(1));
+  EXPECT_EQ(gov.active_count(), 2u);
+  EXPECT_EQ(gov.entries(), 2u);
+
+  // Re-entering while already in fallback refreshes the clock but is not
+  // a new entry.
+  gov.enter(0, 20.0);
+  EXPECT_EQ(gov.entries(), 2u);
+
+  gov.exit(0);
+  EXPECT_FALSE(gov.in_fallback(0));
+  EXPECT_EQ(gov.active_count(), 1u);
+  EXPECT_EQ(gov.exits(), 1u);
+  // Exit of a player not in fallback is a no-op.
+  gov.exit(0);
+  EXPECT_EQ(gov.exits(), 1u);
+}
+
+TEST(FallbackGovernor, MinResidencyBlocksTheEarlyReturn) {
+  FallbackGovernor gov(quick_cfg());
+  gov.resize(2);
+  gov.enter(0, 1000.0);
+  // No fleet change ever recorded: only residency gates.
+  EXPECT_TRUE(gov.blocked(0, 1050.0));    // 50 s < 100 s residency
+  EXPECT_FALSE(gov.blocked(0, 1100.0));   // residency met, fleet stable
+  EXPECT_FALSE(gov.blocked(1, 1050.0));   // not in fallback — never blocked
+}
+
+TEST(FallbackGovernor, FleetChurnRestartsTheStabilityWindow) {
+  FallbackGovernor gov(quick_cfg());
+  gov.resize(2);
+  gov.enter(0, 0.0);
+  gov.note_fleet_change(150.0);  // a crash/recovery mid-residency
+
+  // Residency (100 s) is met at t=150, but the fleet changed at t=150:
+  // blocked until 150 + 200 s stability window.
+  EXPECT_TRUE(gov.blocked(0, 200.0));
+  EXPECT_TRUE(gov.blocked(0, 349.0));
+  EXPECT_FALSE(gov.blocked(0, 350.0));
+
+  // Another change pushes the window out again.
+  gov.note_fleet_change(400.0);
+  EXPECT_TRUE(gov.blocked(0, 500.0));
+  EXPECT_FALSE(gov.blocked(0, 600.0));
+}
+
+TEST(FallbackGovernor, OutOfRangePlayersAreSafeNoOps) {
+  FallbackGovernor gov(quick_cfg());  // never resized
+  gov.enter(7, 10.0);
+  gov.exit(7);
+  EXPECT_FALSE(gov.in_fallback(7));
+  EXPECT_FALSE(gov.blocked(7, 1.0e9));
+  EXPECT_EQ(gov.active_count(), 0u);
+  EXPECT_EQ(gov.entries(), 0u);
+  EXPECT_EQ(gov.exits(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudfog::fault

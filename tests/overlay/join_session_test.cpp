@@ -120,13 +120,13 @@ TEST_F(JoinTest, DeadSupernodeTimesOutAndClaimMovesOn) {
   dead.fail();  // the directory still believes it is accepting
   PlayerAgent player(sim_, network_, net::Endpoint{{0.0, 0.0}, 5.0});
   JoinConfig cfg;
-  cfg.stage_timeout_ms = 300.0;
+  cfg.stage = fault::RetryPolicy::single_attempt(300.0);
   const auto result = run_join(player, cfg);
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->fog_connected);
   EXPECT_EQ(result->supernode, alive.address());
   // The dead supernode cost a probe timeout, visible in the latency.
-  EXPECT_GE(result->join_latency_ms, cfg.stage_timeout_ms);
+  EXPECT_GE(result->join_latency_ms, cfg.stage.attempt_timeout_ms);
 }
 
 TEST_F(JoinTest, ConcurrentJoinersShareSeatsWithoutOverflow) {
@@ -182,7 +182,7 @@ TEST(JoinLossy, TimeoutsCarryTheProtocolThroughPacketLoss) {
     players.push_back(std::make_unique<PlayerAgent>(
         sim, network, net::Endpoint{{static_cast<double>(i % 7), 0.0}, 5.0}));
     JoinConfig cfg;
-    cfg.stage_timeout_ms = 400.0;
+    cfg.stage = fault::RetryPolicy::single_attempt(400.0);
     players.back()->join(directory.address(), cfg, nullptr,
                          [&](const JoinResult& r) {
                            ++completions;

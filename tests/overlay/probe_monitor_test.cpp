@@ -32,8 +32,7 @@ TEST_F(MonitorTest, FailureDetectedWithinMissWindow) {
   PlayerAgent player(sim_, network_, net::Endpoint{{0.0, 0.0}, 5.0});
   double detected_at = -1.0;
   ProbeMonitorConfig cfg;
-  cfg.period_ms = 250.0;
-  cfg.miss_limit = 2;
+  cfg.policy = fault::RetryPolicy::liveness(/*period_ms=*/250.0, /*miss_limit=*/2);
   player.watch(sn.address(), cfg, [&detected_at](double at) { detected_at = at; });
   sim_.run_until(2.0);
   ASSERT_LT(detected_at, 0.0);  // alive so far
@@ -43,8 +42,8 @@ TEST_F(MonitorTest, FailureDetectedWithinMissWindow) {
   ASSERT_GT(detected_at, 0.0);
   // Detection takes between one and (miss_limit + 1) probe periods.
   const double detection_delay = detected_at - failure_time_ms;
-  EXPECT_GE(detection_delay, cfg.period_ms);
-  EXPECT_LE(detection_delay, cfg.period_ms * (cfg.miss_limit + 2));
+  EXPECT_GE(detection_delay, cfg.policy.attempt_timeout_ms);
+  EXPECT_LE(detection_delay, cfg.policy.attempt_timeout_ms * (cfg.policy.max_attempts + 1));
 }
 
 TEST_F(MonitorTest, StopPreventsDetection) {
@@ -79,7 +78,7 @@ TEST_F(MonitorTest, FullFailoverLoopReconnectsElsewhere) {
   ASSERT_EQ(connected, primary.address());
 
   ProbeMonitorConfig mon_cfg;
-  mon_cfg.period_ms = 250.0;
+  mon_cfg.policy = fault::RetryPolicy::liveness(/*period_ms=*/250.0);
   player.watch(primary.address(), mon_cfg, [&](double) {
     player.stop_watching();
     player.join(directory.address(), JoinConfig{}, nullptr,
@@ -100,14 +99,14 @@ TEST_F(MonitorTest, FullFailoverLoopReconnectsElsewhere) {
   // here detection (≥1 probe period) + a probe timeout on the dead
   // primary + rejoin.
   EXPECT_LT(migration_ms, 3000.0);
-  EXPECT_GT(migration_ms, mon_cfg.period_ms);
+  EXPECT_GT(migration_ms, mon_cfg.policy.attempt_timeout_ms);
 }
 
 TEST_F(MonitorTest, ConfigValidation) {
   SupernodeAgent sn(network_, net::Endpoint{{10.0, 0.0}, 2.0}, 5);
   PlayerAgent player(sim_, network_, net::Endpoint{{0.0, 0.0}, 5.0});
   ProbeMonitorConfig cfg;
-  cfg.period_ms = 0.0;
+  cfg.policy.attempt_timeout_ms = 0.0;
   EXPECT_THROW(player.watch(sn.address(), cfg, [](double) {}), ConfigError);
 }
 

@@ -82,6 +82,57 @@ TEST(ArrivalProcess, InterArrivalGapsAreExponential) {
   EXPECT_NEAR(mean_gap, 0.5, 0.05);
 }
 
+TEST(ArrivalProcess, PauseResumeRunsASingleChain) {
+  // Regression: a pause used to leave the last scheduled arrival in the
+  // queue, and resume armed a second chain next to it — doubling the
+  // effective rate after every pause/resume cycle.
+  Simulator sim;
+  int arrivals = 0;
+  ArrivalProcess proc(sim, util::Rng(20), 10.0, [&](SimTime) { ++arrivals; });
+  sim.run_until(100.0);
+  proc.set_rate(0.0);
+  sim.run_until(200.0);
+  proc.set_rate(10.0);
+  sim.run_until(300.0);
+  proc.set_rate(0.0);
+  sim.run_until(400.0);
+  proc.set_rate(10.0);
+  sim.run_until(500.0);
+  // 300 s active at 10/s. With the duplicate-chain bug the two resumes
+  // would stack chains and push this toward 5000+.
+  EXPECT_NEAR(arrivals, 3000, 300);
+}
+
+TEST(ArrivalProcess, DestructionLeavesQueuedEventsHarmless) {
+  // Regression: the destructor cancels the pending arrival and expires the
+  // liveness token, so an event that survives in the queue must not fire
+  // into the dead process (use-after-free under ASan).
+  Simulator sim;
+  int arrivals = 0;
+  {
+    ArrivalProcess proc(sim, util::Rng(21), 5.0, [&](SimTime) { ++arrivals; });
+    sim.run_until(10.0);
+    EXPECT_GT(arrivals, 0);
+  }
+  const int frozen = arrivals;
+  sim.run_until(100.0);
+  EXPECT_EQ(arrivals, frozen);
+}
+
+TEST(ArrivalProcess, StopIsTerminalEvenAfterSetRate) {
+  Simulator sim;
+  int arrivals = 0;
+  ArrivalProcess proc(sim, util::Rng(22), 5.0, [&](SimTime) { ++arrivals; });
+  sim.run_until(10.0);
+  proc.stop();
+  const int at_stop = arrivals;
+  // A paused→positive transition normally re-arms; after stop() it must not.
+  proc.set_rate(0.0);
+  proc.set_rate(10.0);
+  sim.run_until(200.0);
+  EXPECT_EQ(arrivals, at_stop);
+}
+
 TEST(ArrivalProcess, RejectsNegativeRate) {
   Simulator sim;
   EXPECT_THROW(ArrivalProcess(sim, util::Rng(8), -1.0, [](SimTime) {}),
