@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 tests twice (plain and sanitized builds), a
-# bench smoke test that exercises the observability exports, and a chaos
-# smoke test that replays a seeded fault schedule (under ASan+UBSan unless
-# --quick).
+# Full verification pipeline:
+#
+#   1. determinism & correctness lint (tools/lint/cloudfog_lint.py)
+#   2. format check on tracked sources (when clang-format is available)
+#   3. plain build (warnings-as-errors by default) + tier-1 ctest
+#   4. determinism gate: fig7 and the seeded chaos smoke run twice; traces
+#      must be byte-identical and reports identical after canonicalization
+#      (wall-clock phase timings are the only sanctioned difference —
+#      tools/determinism/canonicalize_report.py)
+#   5. bench smoke: observability export schema checks
+#   6. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
+#      ctest, and the chaos smoke re-run under ASan
 #
 #   scripts/check.sh            everything
-#   scripts/check.sh --quick    plain tests + smoke tests only (no sanitizers)
+#   scripts/check.sh --quick    stages 1–5 only (no sanitizer builds)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,30 +26,62 @@ for arg in "$@"; do
   esac
 done
 
-echo "== tier-1: plain build =="
+echo "== lint: determinism & correctness rules =="
+scripts/lint.sh
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== format check =="
+  scripts/format.sh --check
+else
+  echo "== format check: clang-format not found, skipping =="
+fi
+
+echo "== tier-1: plain build (warnings are errors) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-if [ "$QUICK" -eq 0 ]; then
-  echo "== tier-1: ASan+UBSan build =="
-  cmake -B build-asan -S . -DENABLE_SANITIZERS=ON >/dev/null
-  cmake --build build-asan -j "$JOBS"
-  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
-fi
-
-echo "== bench smoke: observability exports =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+echo "== determinism gate: double-run fig7 =="
 ./build/bench/bench_fig7_latency --quick \
-  --report-json "$SMOKE_DIR/report.json" \
-  --trace "$SMOKE_DIR/trace.jsonl" >/dev/null
+  --report-json "$SMOKE_DIR/fig7_report_a.json" \
+  --trace "$SMOKE_DIR/fig7_trace_a.jsonl" >"$SMOKE_DIR/fig7_stdout_a.txt"
+./build/bench/bench_fig7_latency --quick \
+  --report-json "$SMOKE_DIR/fig7_report_b.json" \
+  --trace "$SMOKE_DIR/fig7_trace_b.jsonl" >"$SMOKE_DIR/fig7_stdout_b.txt"
+cmp -s "$SMOKE_DIR/fig7_trace_a.jsonl" "$SMOKE_DIR/fig7_trace_b.jsonl" || {
+  echo "determinism gate FAILED: fig7 trace differs between identical runs" >&2
+  diff <(head -c 2000 "$SMOKE_DIR/fig7_trace_a.jsonl") \
+       <(head -c 2000 "$SMOKE_DIR/fig7_trace_b.jsonl") | head -10 >&2 || true
+  exit 1
+}
+cmp -s "$SMOKE_DIR/fig7_stdout_a.txt" "$SMOKE_DIR/fig7_stdout_b.txt" || {
+  echo "determinism gate FAILED: fig7 stdout (figure table) differs" >&2; exit 1; }
+python3 tools/determinism/canonicalize_report.py --check \
+  "$SMOKE_DIR/fig7_report_a.json" "$SMOKE_DIR/fig7_report_b.json" || {
+  echo "determinism gate FAILED: fig7 report differs beyond phase timings" >&2; exit 1; }
+echo "fig7: trace byte-identical, stdout identical, canonical report identical"
 
-[ -s "$SMOKE_DIR/report.json" ] || { echo "report.json is empty" >&2; exit 1; }
-[ -s "$SMOKE_DIR/trace.jsonl" ] || { echo "trace.jsonl is empty" >&2; exit 1; }
+echo "== determinism gate: double-run seeded chaos =="
+CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick \
+  --report-json "$SMOKE_DIR/chaos_report_a.json" \
+  --trace "$SMOKE_DIR/chaos_trace_a.jsonl" >/dev/null
+CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick \
+  --report-json "$SMOKE_DIR/chaos_report_b.json" \
+  --trace "$SMOKE_DIR/chaos_trace_b.jsonl" >/dev/null
+grep -q '"kind":"fault_' "$SMOKE_DIR/chaos_trace_a.jsonl" || {
+  echo "chaos run injected no faults" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_b.jsonl" || {
+  echo "determinism gate FAILED: seeded chaos replay diverged (full trace)" >&2; exit 1; }
+python3 tools/determinism/canonicalize_report.py --check \
+  "$SMOKE_DIR/chaos_report_a.json" "$SMOKE_DIR/chaos_report_b.json" || {
+  echo "determinism gate FAILED: chaos report differs beyond phase timings" >&2; exit 1; }
+echo "chaos: seeded replay byte-identical, canonical report identical"
 
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$SMOKE_DIR/report.json" "$SMOKE_DIR/trace.jsonl" <<'EOF'
+echo "== bench smoke: observability exports =="
+python3 - "$SMOKE_DIR/fig7_report_a.json" "$SMOKE_DIR/fig7_trace_a.jsonl" <<'EOF'
 import json, sys
 report_path, trace_path = sys.argv[1], sys.argv[2]
 report = json.load(open(report_path))
@@ -61,30 +101,8 @@ assert n > 0, "empty trace"
 print(f"report OK ({len(report['runs'])} runs, {len(report['counters'])} counters); "
       f"trace OK ({n} events, monotone)")
 EOF
-else
-  echo "python3 not found: skipping JSON schema validation"
-fi
 
-echo "== chaos smoke: seeded fault replay =="
-# The sanitized binary when available: the fault paths (crash displacement,
-# overlapping clears, fallback bookkeeping) are exactly where lifetime bugs
-# would hide.
-CHAOS_BIN=./build/bench/bench_ext_chaos
-[ "$QUICK" -eq 0 ] && CHAOS_BIN=./build-asan/bench/bench_ext_chaos
-CLOUDFOG_FAULT_SEED=424242 "$CHAOS_BIN" --quick \
-  --report-json "$SMOKE_DIR/chaos_report.json" \
-  --trace "$SMOKE_DIR/chaos_a.jsonl" >/dev/null
-CLOUDFOG_FAULT_SEED=424242 "$CHAOS_BIN" --quick \
-  --trace "$SMOKE_DIR/chaos_b.jsonl" >/dev/null
-
-grep '"kind":"fault_' "$SMOKE_DIR/chaos_a.jsonl" > "$SMOKE_DIR/faults_a.jsonl" || true
-grep '"kind":"fault_' "$SMOKE_DIR/chaos_b.jsonl" > "$SMOKE_DIR/faults_b.jsonl" || true
-[ -s "$SMOKE_DIR/faults_a.jsonl" ] || { echo "chaos run injected no faults" >&2; exit 1; }
-cmp -s "$SMOKE_DIR/faults_a.jsonl" "$SMOKE_DIR/faults_b.jsonl" || {
-  echo "seeded chaos replay diverged (fault trace lines differ)" >&2; exit 1; }
-
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$SMOKE_DIR/chaos_report.json" <<'EOF'
+python3 - "$SMOKE_DIR/chaos_report_a.json" <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
 assert report["schema"].startswith("cloudfog.run_report/"), report["schema"]
@@ -98,10 +116,26 @@ names = {name for run in report["runs"] for name in run["metrics"]}
 for required in ("mttr_ms", "fallback_residency", "sessions_interrupted"):
     assert required in names, f"missing chaos metric {required}"
 print(f"chaos report OK ({counters['fault.injected']} faults injected, "
-      f"{joins} joins == leaves, replay identical)")
+      f"{joins} joins == leaves)")
 EOF
-else
-  echo "python3 not found: skipping chaos report validation"
+
+if [ "$QUICK" -eq 0 ]; then
+  echo "== sanitizer matrix: ASan+UBSan build =="
+  cmake -B build-asan -S . -DSANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+  echo "== sanitizer matrix: TSan build =="
+  cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+  echo "== chaos smoke under ASan (lifetime bugs hide in fault paths) =="
+  CLOUDFOG_FAULT_SEED=424242 ./build-asan/bench/bench_ext_chaos --quick \
+    --trace "$SMOKE_DIR/chaos_asan.jsonl" >/dev/null
+  cmp -s "$SMOKE_DIR/chaos_asan.jsonl" "$SMOKE_DIR/chaos_trace_a.jsonl" || {
+    echo "seeded chaos replay diverged between plain and ASan builds" >&2; exit 1; }
+  echo "ASan chaos replay matches the plain build byte-for-byte"
 fi
 
 echo "all checks passed"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# clang-format wrapper for CloudFog. Check-only by default on *changed*
+# files (vs the merge-base with main, falling back to HEAD) — there is no
+# mass-reformat mode for the whole tree on purpose: old code converges as
+# it is touched.
+#
+#   scripts/format.sh --check            changed files must be clean
+#   scripts/format.sh --check path...    specific files must be clean
+#   scripts/format.sh --fix [path...]    rewrite in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=""
+PATHS=()
+for arg in "$@"; do
+  case "$arg" in
+    --check) MODE="check" ;;
+    --fix) MODE="fix" ;;
+    -*) echo "unknown argument: $arg" >&2; exit 2 ;;
+    *) PATHS+=("$arg") ;;
+  esac
+done
+if [ -z "$MODE" ]; then
+  echo "usage: scripts/format.sh --check|--fix [path...]" >&2
+  exit 2
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "scripts/format.sh: clang-format not found; nothing checked" >&2
+  exit 0
+fi
+
+if [ "${#PATHS[@]}" -eq 0 ]; then
+  # Changed C++ files relative to the merge-base with main (or HEAD for a
+  # clean tree mid-branch), plus anything staged or unstaged right now.
+  BASE=$(git merge-base HEAD origin/main 2>/dev/null \
+      || git merge-base HEAD main 2>/dev/null \
+      || echo HEAD)
+  mapfile -t PATHS < <(
+    { git diff --name-only "$BASE" -- '*.cpp' '*.cc' '*.hpp' '*.hh' '*.h'
+      git diff --name-only --cached -- '*.cpp' '*.cc' '*.hpp' '*.hh' '*.h'
+      git diff --name-only -- '*.cpp' '*.cc' '*.hpp' '*.hh' '*.h'
+    } | sort -u)
+fi
+
+# Drop paths that no longer exist (deleted files show up in diffs).
+EXISTING=()
+for p in "${PATHS[@]}"; do
+  [ -f "$p" ] && EXISTING+=("$p")
+done
+if [ "${#EXISTING[@]}" -eq 0 ]; then
+  echo "format: no changed C++ files"
+  exit 0
+fi
+
+if [ "$MODE" = "fix" ]; then
+  clang-format -i --style=file "${EXISTING[@]}"
+  echo "format: rewrote ${#EXISTING[@]} file(s)"
+  exit 0
+fi
+
+FAILED=0
+for p in "${EXISTING[@]}"; do
+  if ! clang-format --style=file --dry-run -Werror "$p" >/dev/null 2>&1; then
+    echo "needs formatting: $p" >&2
+    FAILED=1
+  fi
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "format check failed — run scripts/format.sh --fix" >&2
+  exit 1
+fi
+echo "format: ${#EXISTING[@]} file(s) clean"

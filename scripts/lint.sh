@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CloudFog determinism & correctness lint over src/ and bench/.
+#
+#   scripts/lint.sh                 lint the default tree (src/ + bench/)
+#   scripts/lint.sh path...         lint specific files or directories
+#   scripts/lint.sh --list-rules    describe the rules
+#
+# Exit: 0 clean, 1 findings, 2 usage error. See tools/lint/cloudfog_lint.py
+# for rule details and the NOLINT(cloudfog-<rule>): <justification> escape
+# hatch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "scripts/lint.sh: python3 is required" >&2
+  exit 2
+fi
+
+exec python3 tools/lint/cloudfog_lint.py "$@"

@@ -47,8 +47,8 @@ std::vector<std::size_t> Cloud::candidate_supernodes(
     const net::Endpoint& player, const std::vector<SupernodeState>& fleet,
     std::size_t count) const {
   struct Scored {
-    std::size_t index;
-    double distance_km;
+    std::size_t index = 0;
+    double distance_km = 0.0;
   };
   std::vector<Scored> scored;
   scored.reserve(fleet.size());

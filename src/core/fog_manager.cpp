@@ -61,9 +61,9 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
   // delay exceeds L_max. Probes run in parallel, so the protocol pays the
   // slowest probe round-trip once.
   struct Probed {
-    std::size_t index;
-    double rtt_ms;
-    double score;
+    std::size_t index = 0;
+    double rtt_ms = 0.0;
+    double score = 0.0;
   };
   std::vector<Probed> qualified;
   double slowest_probe = 0.0;

@@ -56,6 +56,7 @@ std::size_t ReputationStore::rating_count(SupernodeId sn) const {
 std::vector<SupernodeId> ReputationStore::rated_supernodes() const {
   std::vector<SupernodeId> out;
   out.reserve(ratings_.size());
+  // NOLINTNEXTLINE(cloudfog-unordered-iter): keys only, sorted before returning
   for (const auto& [sn, list] : ratings_) {
     if (!list.empty()) out.push_back(sn);
   }
@@ -64,6 +65,7 @@ std::vector<SupernodeId> ReputationStore::rated_supernodes() const {
 }
 
 void ReputationStore::prune(int current_day, double min_weight) {
+  // NOLINTNEXTLINE(cloudfog-unordered-iter): erase-only pass, order-insensitive
   for (auto it = ratings_.begin(); it != ratings_.end();) {
     auto& list = it->second;
     std::erase_if(list, [&](const Rating& r) {

@@ -46,8 +46,8 @@ class EventQueue {
 
  private:
   struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: schedule order
+    SimTime time{};
+    std::uint64_t seq = 0;  // tie-break: schedule order
     EventId id;
   };
   struct Later {

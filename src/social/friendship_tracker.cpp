@@ -30,6 +30,7 @@ void FriendshipTracker::record_coplay(PlayerId a, PlayerId b, int day) {
 
 void FriendshipTracker::expire(int current_day) {
   const int oldest_kept = current_day - window_days_ + 1;
+  // NOLINTNEXTLINE(cloudfog-unordered-iter): erase-only pass, order-insensitive
   for (auto it = counts_.begin(); it != counts_.end();) {
     auto& days = it->second;
     for (auto dit = days.begin(); dit != days.end();) {
@@ -61,6 +62,7 @@ bool FriendshipTracker::implicit_friends(PlayerId a, PlayerId b) const {
 
 std::vector<std::pair<PlayerId, PlayerId>> FriendshipTracker::implicit_friend_pairs() const {
   std::vector<std::pair<PlayerId, PlayerId>> out;
+  // NOLINTNEXTLINE(cloudfog-unordered-iter): per-key int totals; result sorted below
   for (const auto& [key, days] : counts_) {
     int total = 0;
     for (const auto& [day, count] : days) total += count;
@@ -69,6 +71,8 @@ std::vector<std::pair<PlayerId, PlayerId>> FriendshipTracker::implicit_friend_pa
                        static_cast<PlayerId>(key & 0xffffffffULL));
     }
   }
+  // Bucket order is implementation-defined; callers must see a stable order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -74,9 +74,9 @@ double sample_lognormal(Rng& rng, double mu, double sigma);
 class LognormalMixture {
  public:
   struct Component {
-    double weight;
-    double mu;
-    double sigma;
+    double weight = 0.0;
+    double mu = 0.0;
+    double sigma = 0.0;
   };
   explicit LognormalMixture(std::vector<Component> components);
   double sample(Rng& rng) const;
@@ -90,8 +90,8 @@ class LognormalMixture {
 class EmpiricalDistribution {
  public:
   struct Bin {
-    double value;
-    double weight;
+    double value = 0.0;
+    double weight = 0.0;
   };
   explicit EmpiricalDistribution(std::vector<Bin> bins);
   double sample(Rng& rng) const;

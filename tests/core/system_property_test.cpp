@@ -140,7 +140,7 @@ INSTANTIATE_TEST_SUITE_P(
                    StrategyToggles::all(), WorkloadMode::kArrivalRates, 20},
         SystemCase{"fog_basic_arrivals_fixed_pool", Architecture::kCloudFog,
                    StrategyToggles::none(), WorkloadMode::kArrivalRates, 10}),
-    [](const ::testing::TestParamInfo<SystemCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<SystemCase>& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace cloudfog::core

@@ -73,7 +73,9 @@ TEST_F(ObsIntegrationTest, CloudFogRunEmitsOrderedJoinProbeEvents) {
   // Join events carry the player's join latency; subcycle events the
   // online population.
   for (const auto& e : events) {
-    if (e.kind == obs::EventKind::kPlayerJoin) EXPECT_GT(e.value, 0.0);
+    if (e.kind == obs::EventKind::kPlayerJoin) {
+      EXPECT_GT(e.value, 0.0);
+    }
   }
 
   // The run summary was captured with percentile-bearing stats.

@@ -1,0 +1,47 @@
+// Fixture: must pass every cloudfog lint rule, including a correctly
+// justified suppression.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Sample {
+  double value = 0.0;
+  std::uint64_t weight = 1;
+};
+
+class Ledger {
+ public:
+  void add(std::uint64_t key, double v) { cells_[key] += v; }
+
+  double lookup(std::uint64_t key) const {
+    const auto it = cells_.find(key);
+    return it == cells_.end() ? 0.0 : it->second;
+  }
+
+  std::vector<std::uint64_t> keys_sorted() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(cells_.size());
+    // NOLINT-justified: keys only, sorted before returning.
+    // NOLINTNEXTLINE(cloudfog-unordered-iter): keys only, sorted before returning
+    for (const auto& [k, v] : cells_) out.push_back(k);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> cells_;
+};
+
+// Deterministic ordered map keyed on a stable id: allowed.
+std::map<std::uint64_t, Sample> by_id;
+
+void sort_by_value(std::vector<Sample*>& samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample* a, const Sample* b) { return a->value < b->value; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: must trip cloudfog-metric-once (one name, two registration
+// sites). Registry registration is idempotent, so this would silently alias
+// two subsystems onto one counter.
+namespace fixture {
+
+struct Registry {
+  int counter(const char*) { return 0; }
+  int gauge(const char*) { return 0; }
+};
+
+void subsystem_a(Registry& reg) {
+  (void)reg.counter("fixture.duplicated");  // finding (site 1)
+  (void)reg.gauge("fixture.unique_gauge");  // ok: single site
+}
+
+void subsystem_b(Registry& reg) {
+  (void)reg.counter("fixture.duplicated");  // finding (site 2)
+  (void)reg.counter("fixture.unique_counter");  // ok: single site
+}
+
+}  // namespace fixture

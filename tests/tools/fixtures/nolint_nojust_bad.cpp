@@ -1,0 +1,15 @@
+// Fixture: must trip cloudfog-nolint — a suppression without a
+// justification is itself an error.
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> table;
+
+int sum() {
+  int total = 0;
+  for (const auto& [k, v] : table) total += v;  // NOLINT(cloudfog-unordered-iter)
+  return total;
+}
+
+}  // namespace fixture

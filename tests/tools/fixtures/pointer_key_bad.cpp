@@ -1,0 +1,28 @@
+// Fixture: must trip cloudfog-pointer-key (address-ordered containers and
+// comparators).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> ranks;        // finding: pointer-keyed map
+std::set<const Node*> visited;     // finding: pointer-keyed set
+
+void sort_by_address(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });  // finding: pointer comparator
+}
+
+// Ordering by a stable field must NOT trip the rule.
+void sort_by_id_ok(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: must trip cloudfog-uninit-pod. Lives under a `src/` prefix
+// because the rule only applies to structs shipped in the library tree.
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+
+struct Stats {
+  double mean;          // finding: no initializer
+  std::uint64_t count;  // finding: no initializer
+  int* cursor;          // finding: raw pointer, no initializer
+};
+
+// Initialized members must NOT trip the rule.
+struct StatsOk {
+  double mean = 0.0;
+  std::uint64_t count{};
+  int* cursor = nullptr;
+};
+
+class Engine {
+  // Members of a `class` (with constructors managing init) are out of the
+  // rule's scope; only plain structs are policed.
+ public:
+  explicit Engine(double r) : rate_(r) {}
+
+ private:
+  double rate_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: must trip cloudfog-unordered-iter (bucket-order iteration).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Store {
+  std::unordered_map<std::uint64_t, double> scores_;
+  std::unordered_set<int> members_;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [id, s] : scores_) sum += s;  // finding: range-for
+    return sum;
+  }
+
+  std::vector<int> drain() {
+    std::vector<int> out;
+    for (auto it = members_.begin(); it != members_.end(); ++it) {  // finding: iterator
+      out.push_back(*it);
+    }
+    return out;
+  }
+};
+
+// Lookup without traversal must NOT trip the rule.
+double lookup_ok(const Store& s, std::uint64_t id) {
+  const auto it = s.scores_.find(id);
+  return it == s.scores_.end() ? 0.0 : it->second;
+}
+
+}  // namespace fixture

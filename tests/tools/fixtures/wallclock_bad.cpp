@@ -1,0 +1,29 @@
+// Fixture: must trip cloudfog-wallclock (wall-clock + libc randomness).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double wall_seed() {
+  const auto now = std::chrono::system_clock::now();  // finding: system_clock
+  (void)now;
+  std::srand(42);                    // finding: srand
+  const int r = std::rand();         // finding: rand
+  std::random_device rd;             // finding: random_device
+  const std::time_t t = std::time(nullptr);  // finding: time(
+  return static_cast<double>(r + rd() + t);
+}
+
+// Sim-clock reads must NOT trip the rule: member/scoped time accessors.
+struct Clock {
+  double now_s = 0.0;
+  double sim_time() const { return now_s; }
+};
+
+double sim_time_ok(const Clock& c) {
+  return c.sim_time() + 1.0;  // member call on the sim clock: allowed
+}
+
+}  // namespace fixture

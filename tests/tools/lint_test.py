@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/cloudfog_lint.py.
+
+Each *_bad fixture must trip exactly its target rule (non-zero exit, the
+rule id in the output); the clean fixture must pass; the full src/ + bench/
+tree must be clean. Run directly or via ctest (`lint_selftest`).
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "lint", "cloudfog_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True, cwd=REPO)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class FixtureCase(unittest.TestCase):
+    def assert_trips(self, fixture, rule, min_findings=1):
+        path = os.path.join(FIXTURES, fixture)
+        code, out, _ = run_lint(path)
+        self.assertEqual(code, 1, f"{fixture} should fail the lint\n{out}")
+        hits = [l for l in out.splitlines() if f"[{rule}]" in l]
+        self.assertGreaterEqual(
+            len(hits), min_findings,
+            f"{fixture} should trip {rule} at least {min_findings}x\n{out}")
+        return out
+
+    def test_wallclock_fixture(self):
+        out = self.assert_trips("wallclock_bad.cpp", "cloudfog-wallclock",
+                                min_findings=5)
+        self.assertNotIn("sim_time_ok", out)
+
+    def test_unordered_iter_fixture(self):
+        out = self.assert_trips("unordered_iter_bad.cpp",
+                                "cloudfog-unordered-iter", min_findings=2)
+        # find()-based lookup must not be flagged.
+        for line in out.splitlines():
+            self.assertNotIn(":30:", line.split(" ")[0])
+
+    def test_pointer_key_fixture(self):
+        self.assert_trips("pointer_key_bad.cpp", "cloudfog-pointer-key",
+                          min_findings=3)
+
+    def test_uninit_pod_fixture(self):
+        out = self.assert_trips(os.path.join("src", "uninit_pod_bad.hpp"),
+                                "cloudfog-uninit-pod", min_findings=3)
+        self.assertNotIn("StatsOk", out)
+        flagged = [l for l in out.splitlines() if "cloudfog-uninit-pod" in l]
+        for member in ("mean", "count", "cursor"):
+            self.assertTrue(any(f"'{member}'" in l for l in flagged),
+                            f"member {member} should be flagged\n{out}")
+
+    def test_metric_once_fixture(self):
+        out = self.assert_trips("metric_once_bad.cpp", "cloudfog-metric-once",
+                                min_findings=2)
+        self.assertIn("fixture.duplicated", out)
+        self.assertNotIn("fixture.unique_gauge", out)
+        self.assertNotIn("fixture.unique_counter", out)
+
+    def test_nolint_requires_justification(self):
+        out = self.assert_trips("nolint_nojust_bad.cpp", "cloudfog-nolint")
+        # The bare NOLINT must not silently suppress the underlying finding
+        # report — the justification requirement is the error.
+        self.assertIn("justification", out)
+
+    def test_clean_fixture_passes(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "clean_ok.cpp"))
+        self.assertEqual(code, 0, f"clean fixture should pass\n{out}{err}")
+        self.assertEqual(out.strip(), "")
+
+    def test_rule_filter(self):
+        # With the unrelated rule selected, the wallclock fixture is clean.
+        code, out, _ = run_lint(
+            os.path.join(FIXTURES, "wallclock_bad.cpp"),
+            "--rule", "cloudfog-pointer-key")
+        self.assertEqual(code, 0, out)
+
+    def test_unknown_rule_is_usage_error(self):
+        code, _, err = run_lint("--rule", "cloudfog-no-such-rule")
+        self.assertEqual(code, 2)
+        self.assertIn("unknown rule", err)
+
+    def test_list_rules(self):
+        code, out, _ = run_lint("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in ("cloudfog-wallclock", "cloudfog-unordered-iter",
+                     "cloudfog-pointer-key", "cloudfog-uninit-pod",
+                     "cloudfog-metric-once", "cloudfog-nolint"):
+            self.assertIn(rule, out)
+
+
+class TreeCase(unittest.TestCase):
+    def test_full_tree_is_clean(self):
+        code, out, err = run_lint("src", "bench")
+        self.assertEqual(code, 0,
+                         f"src/ + bench/ must stay lint-clean\n{out}{err}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

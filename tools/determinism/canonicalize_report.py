@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Canonicalize a cloudfog run report for determinism comparison.
+
+A run report is byte-identical across same-seed runs *except* for the
+`phases` section: phase timings come from steady_clock (real nanoseconds of
+this machine, this run) and are the one part of the report that is allowed
+to vary. Everything else — run metrics, counters, gauges, histograms, trace
+accounting — is a pure function of (config, seed) and must not.
+
+This tool projects a report onto its deterministic subset:
+  * `phases` is reduced to {name: invocation count}; the invocation count
+    IS deterministic (how many times each phase ran), only its duration
+    statistics are wall-clock.
+  * every other section is kept verbatim, with object keys sorted.
+
+Usage:
+  canonicalize_report.py report.json               # canonical JSON to stdout
+  canonicalize_report.py --check a.json b.json     # exit 1 + diff summary if
+                                                   # the canonical forms differ
+
+The determinism gate in scripts/check.sh runs every gated benchmark twice
+and feeds both reports through --check.
+"""
+
+import json
+import sys
+
+
+def canonicalize(report: dict) -> dict:
+    out = {k: v for k, v in report.items() if k != "phases"}
+    phases = report.get("phases", {})
+    out["phases"] = {name: stats.get("count", 0) for name, stats in phases.items()}
+    return out
+
+
+def diff_paths(a, b, path=""):
+    """Yields human-readable paths where two canonical values differ."""
+    if type(a) is not type(b):
+        yield f"{path or '/'}: type {type(a).__name__} vs {type(b).__name__}"
+        return
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            sub = f"{path}/{k}"
+            if k not in a:
+                yield f"{sub}: only in second report"
+            elif k not in b:
+                yield f"{sub}: only in first report"
+            else:
+                yield from diff_paths(a[k], b[k], sub)
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            yield f"{path}: length {len(a)} vs {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            yield from diff_paths(x, y, f"{path}[{i}]")
+    elif a != b:
+        yield f"{path}: {a!r} vs {b!r}"
+
+
+def main(argv):
+    if argv and argv[0] == "--check":
+        if len(argv) != 3:
+            print("usage: canonicalize_report.py --check a.json b.json", file=sys.stderr)
+            return 2
+        with open(argv[1]) as f:
+            a = canonicalize(json.load(f))
+        with open(argv[2]) as f:
+            b = canonicalize(json.load(f))
+        diffs = list(diff_paths(a, b))
+        if diffs:
+            print(f"reports diverge at {len(diffs)} path(s):", file=sys.stderr)
+            for d in diffs[:20]:
+                print(f"  {d}", file=sys.stderr)
+            if len(diffs) > 20:
+                print(f"  ... and {len(diffs) - 20} more", file=sys.stderr)
+            return 1
+        return 0
+
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[0]) as f:
+        report = json.load(f)
+    json.dump(canonicalize(report), sys.stdout, sort_keys=True, indent=1)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
