@@ -9,7 +9,10 @@
 //   --trace <file>       stream the structured event trace as JSONL;
 //   --report-json <file> write the run report (metrics + counters +
 //                        phase profile) on exit;
-//   --obs-off            disable the observability recorder entirely.
+//   --obs-off            disable the observability recorder entirely;
+//   --threads <n>        QoS worker threads (sets CLOUDFOG_THREADS before
+//                        any System is built; results are byte-identical
+//                        at every thread count).
 // Default is a reduced-but-faithful scale (6 cycles, 3 warm-up).
 #pragma once
 
@@ -108,6 +111,10 @@ inline core::ExperimentScale scale_from_args(int argc, char** argv,
       report_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-off") == 0) {
       obs_off = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // The engine reads the variable at construction; every System in
+      // this process picks it up.
+      setenv("CLOUDFOG_THREADS", argv[++i], 1);
     }
   }
   // Touch the recorder singleton before the session singleton so the

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/provisioner.hpp"
+#include "core/system.hpp"
+#include "core/testbed.hpp"
 #include "obs/obs.hpp"
 #include "forecast/sarima.hpp"
 #include "overlay/join_session.hpp"
@@ -167,6 +169,68 @@ void BM_QoeMos(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QoeMos);
+
+// §3.2 step 1 at fleet scale: the geo-grid index against the linear
+// reference scan, over every player endpoint in the testbed.
+void BM_CandidateDiscovery(benchmark::State& state) {
+  const auto fleet_size = static_cast<std::size_t>(state.range(0));
+  const auto mode =
+      state.range(1) != 0 ? core::CandidateMode::kGrid : core::CandidateMode::kLinear;
+  auto cfg = core::TestbedConfig::peersim(std::max<std::size_t>(fleet_size, 2000));
+  cfg.supernode_capable_fraction = 1.0;  // allow fleets beyond the 10 % pool
+  const core::Testbed testbed(cfg, 42);
+  core::Cloud cloud(testbed.make_datacenters(), testbed.latency(), net::IpLocator{});
+  cloud.set_candidate_mode(mode);
+  auto fleet = testbed.make_supernode_fleet(fleet_size);
+  util::Rng reg_rng(7);
+  for (auto& sn : fleet) {
+    cloud.register_supernode(sn, reg_rng);
+    sn.deployed = true;
+  }
+  constexpr std::size_t kQueries = 1000;
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      cloud.candidate_supernodes_into(testbed.players()[i].endpoint, fleet, 8, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kQueries));
+}
+BENCHMARK(BM_CandidateDiscovery)
+    ->ArgNames({"fleet", "grid"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+// One end-to-end System subcycle (population churn + demand tallies + QoS
+// pass) on the CloudFog arm: the reference engine (memoize off, serial)
+// against the memoized engine at 1 and 4 worker threads.
+void BM_QosSubcycle(benchmark::State& state) {
+  const auto players = static_cast<std::size_t>(state.range(0));
+  const core::Testbed testbed(core::TestbedConfig::peersim(players), 42);
+  core::SystemConfig cfg;
+  cfg.supernode_count = players / 10;  // the profile's capable pool
+  cfg.qos.memoize = state.range(1) != 0;
+  cfg.qos.threads = static_cast<int>(state.range(2));
+  core::System system(testbed, cfg, 42);
+  const int per_day = testbed.activity().config().subcycles_per_day;
+  system.begin_cycle(0);
+  for (int s = 1; s <= per_day; ++s) system.run_subcycle(0, s, true, false);  // warm up
+  int sub = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run_subcycle(0, sub, false, false));
+    sub = sub % per_day + 1;  // subcycles are 1-based on a daily clock
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(players));
+}
+BENCHMARK(BM_QosSubcycle)
+    ->ArgNames({"players", "memo", "threads"})
+    ->Args({2000, 0, 1})
+    ->Args({2000, 1, 1})
+    ->Args({2000, 1, 4})
+    ->Unit(benchmark::kMillisecond);
 
 // Observability hot paths: the disabled gate must be near-free; the
 // enabled increments bound what instrumented code pays per event.

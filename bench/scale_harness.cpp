@@ -1,0 +1,216 @@
+// Tracked scale benchmark (DESIGN.md §10, scripts/bench.sh).
+//
+// Measures the two hot paths this repo optimises for scale-out, each
+// against its in-binary reference implementation so the baseline and the
+// optimised numbers come from the same build:
+//
+//   * candidate discovery — the §3.2 step-1 lookup, linear reference scan
+//     (CandidateMode::kLinear) vs the geo-grid index (kGrid), swept over
+//     fleet size;
+//   * end-to-end System subcycle — population churn + demand tallies +
+//     QoS pass on the CloudFog arm, reference engine (linear discovery,
+//     memoization off, serial) vs the optimised engine (grid + memo) at
+//     1 and N worker threads, at a fig7-style point and at the
+//     10k-supernode scale-out point.
+//
+// Both modes produce byte-identical simulation results (the determinism
+// gate enforces it); this binary only tracks their cost. Output is a JSON
+// document (schema cloudfog.bench_scale/1) merged into BENCH_PR5.json by
+// scripts/bench.sh.
+//
+// Usage: bench_scale [--quick] [--threads <n>] [--json <path>]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/testbed.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cloudfog;
+
+// Wall-clock timing only — this binary never feeds simulation state, so
+// the determinism contract does not apply to it.
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+struct DiscoveryPoint {
+  std::size_t fleet = 0;
+  double linear_us = 0.0;  ///< per query
+  double grid_us = 0.0;
+  double speedup = 0.0;
+};
+
+DiscoveryPoint bench_discovery(std::size_t fleet_size, int repeats) {
+  auto cfg = core::TestbedConfig::peersim(std::max<std::size_t>(fleet_size, 2000));
+  cfg.supernode_capable_fraction = 1.0;  // allow fleets beyond the 10 % pool
+  const core::Testbed testbed(cfg, 42);
+  core::Cloud cloud(testbed.make_datacenters(), testbed.latency(), net::IpLocator{});
+  auto fleet = testbed.make_supernode_fleet(fleet_size);
+  util::Rng reg_rng(7);
+  for (auto& sn : fleet) {
+    cloud.register_supernode(sn, reg_rng);
+    sn.deployed = true;
+  }
+  const std::size_t queries = 1000;
+  std::vector<std::size_t> out;
+  DiscoveryPoint point;
+  point.fleet = fleet_size;
+  for (const bool grid : {false, true}) {
+    cloud.set_candidate_mode(grid ? core::CandidateMode::kGrid
+                                  : core::CandidateMode::kLinear);
+    // Warm once (index build, scratch allocation) outside the timed loop.
+    cloud.candidate_supernodes_into(testbed.players()[0].endpoint, fleet, 8, out);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < queries; ++i) {
+        cloud.candidate_supernodes_into(testbed.players()[i].endpoint, fleet, 8, out);
+      }
+    }
+    const double us =
+        elapsed_ms(t0) * 1000.0 / (static_cast<double>(repeats) * static_cast<double>(queries));
+    (grid ? point.grid_us : point.linear_us) = us;
+  }
+  point.speedup = point.linear_us / std::max(1e-9, point.grid_us);
+  return point;
+}
+
+struct SubcyclePoint {
+  std::size_t players = 0;
+  std::size_t fleet = 0;
+  double baseline_ms = 0.0;      ///< linear discovery, memo off, serial
+  double optimized_1t_ms = 0.0;  ///< grid + memo, 1 thread
+  double optimized_nt_ms = 0.0;  ///< grid + memo, N threads
+  double speedup_1t = 0.0;
+  double speedup_nt = 0.0;
+};
+
+double bench_subcycle_arm(const core::Testbed& testbed, std::size_t fleet_size,
+                          core::CandidateMode mode, bool memoize, int threads,
+                          int measured_days) {
+  core::SystemConfig cfg;
+  cfg.supernode_count = fleet_size;
+  cfg.discovery = mode;
+  cfg.qos.memoize = memoize;
+  cfg.qos.threads = threads;
+  core::System system(testbed, cfg, 42);
+  const int per_day = testbed.activity().config().subcycles_per_day;
+  // One warm-up day (days are 1-based) attaches the steady-state session
+  // population.
+  system.begin_cycle(1);
+  for (int s = 1; s <= per_day; ++s) system.run_subcycle(1, s, true, false);
+  system.end_cycle(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int day = 2; day <= 1 + measured_days; ++day) {
+    system.begin_cycle(day);
+    for (int s = 1; s <= per_day; ++s) system.run_subcycle(day, s, false, false);
+    system.end_cycle(day);
+  }
+  return elapsed_ms(t0) / static_cast<double>(measured_days * per_day);
+}
+
+SubcyclePoint bench_subcycle(std::size_t players, std::size_t fleet_size, int threads,
+                             int measured_days) {
+  fleet_size = std::min(fleet_size, players);  // capable pool bound (quick mode)
+  auto tcfg = core::TestbedConfig::peersim(players);
+  if (fleet_size > players / 10) tcfg.supernode_capable_fraction = 1.0;
+  const core::Testbed testbed(tcfg, 42);
+  SubcyclePoint point;
+  point.players = players;
+  point.fleet = fleet_size;
+  point.baseline_ms = bench_subcycle_arm(testbed, fleet_size, core::CandidateMode::kLinear,
+                                         /*memoize=*/false, /*threads=*/1, measured_days);
+  point.optimized_1t_ms = bench_subcycle_arm(testbed, fleet_size, core::CandidateMode::kGrid,
+                                             /*memoize=*/true, /*threads=*/1, measured_days);
+  point.optimized_nt_ms = bench_subcycle_arm(testbed, fleet_size, core::CandidateMode::kGrid,
+                                             /*memoize=*/true, threads, measured_days);
+  point.speedup_1t = point.baseline_ms / std::max(1e-9, point.optimized_1t_ms);
+  point.speedup_nt = point.baseline_ms / std::max(1e-9, point.optimized_nt_ms);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int threads = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  // Timing only: the recorder would charge every trace append to the
+  // measured loops.
+  obs::Recorder::global().set_enabled(false);
+
+  const int repeats = quick ? 2 : 10;
+  std::vector<DiscoveryPoint> discovery;
+  for (const std::size_t fleet : {std::size_t{1000}, std::size_t{10000}}) {
+    discovery.push_back(bench_discovery(fleet, repeats));
+    std::cerr << "discovery fleet=" << discovery.back().fleet
+              << " linear_us=" << discovery.back().linear_us
+              << " grid_us=" << discovery.back().grid_us
+              << " speedup=" << discovery.back().speedup << '\n';
+  }
+
+  const int days = quick ? 1 : 2;
+  std::vector<SubcyclePoint> subcycle;
+  // fig7-style point (default 600-supernode fleet) and the 10k-supernode
+  // scale-out point the index/memo layers target.
+  subcycle.push_back(bench_subcycle(quick ? 2000 : 10000, 600, threads, days));
+  subcycle.push_back(bench_subcycle(quick ? 2000 : 10000, 10000, threads, days));
+  for (const auto& p : subcycle) {
+    std::cerr << "subcycle players=" << p.players << " fleet=" << p.fleet
+              << " baseline_ms=" << p.baseline_ms << " opt1t_ms=" << p.optimized_1t_ms
+              << " opt" << threads << "t_ms=" << p.optimized_nt_ms
+              << " speedup_1t=" << p.speedup_1t << " speedup_nt=" << p.speedup_nt << '\n';
+  }
+
+  std::ostream* os = &std::cout;
+  std::ofstream file;
+  if (!json_path.empty()) {
+    file.open(json_path);
+    if (!file) {
+      std::cerr << "error: cannot open " << json_path << '\n';
+      return 1;
+    }
+    os = &file;
+  }
+  *os << "{\n  \"schema\": \"cloudfog.bench_scale/1\",\n";
+  *os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  *os << "  \"threads\": " << threads << ",\n";
+  *os << "  \"candidate_discovery\": [\n";
+  for (std::size_t i = 0; i < discovery.size(); ++i) {
+    const auto& p = discovery[i];
+    *os << "    {\"fleet\": " << p.fleet << ", \"linear_us_per_query\": " << p.linear_us
+        << ", \"grid_us_per_query\": " << p.grid_us << ", \"speedup\": " << p.speedup << "}"
+        << (i + 1 < discovery.size() ? "," : "") << '\n';
+  }
+  *os << "  ],\n  \"subcycle\": [\n";
+  for (std::size_t i = 0; i < subcycle.size(); ++i) {
+    const auto& p = subcycle[i];
+    *os << "    {\"players\": " << p.players << ", \"fleet\": " << p.fleet
+        << ", \"baseline_ms\": " << p.baseline_ms
+        << ", \"optimized_1t_ms\": " << p.optimized_1t_ms
+        << ", \"optimized_nt_ms\": " << p.optimized_nt_ms
+        << ", \"speedup_1t\": " << p.speedup_1t << ", \"speedup_nt\": " << p.speedup_nt << "}"
+        << (i + 1 < subcycle.size() ? "," : "") << '\n';
+  }
+  *os << "  ]\n}\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Tracked benchmark harness (DESIGN.md §10).
+#
+# Runs the microbenchmark suite (google-benchmark) and the scale harness
+# (bench_scale: candidate discovery linear-vs-grid, end-to-end subcycles
+# reference-vs-optimised) and merges both into one tracked JSON document.
+# Baselines come from the same binary's reference modes
+# (CandidateMode::kLinear, QosEngineConfig::memoize = false, serial), so
+# every report carries its own before/after pair.
+#
+#   scripts/bench.sh                 full run -> BENCH_PR5.json
+#   scripts/bench.sh --quick         short run (CI smoke)
+#   scripts/bench.sh --out <path>    override the output path
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+QUICK=0
+OUT=BENCH_PR5.json
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --out) shift; OUT="$1" ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== build (RelWithDebInfo) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_micro bench_scale
+
+WORK_DIR=$(mktemp -d)
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+echo "== micro suite (google-benchmark) =="
+MICRO_ARGS=(--benchmark_format=json)
+if [ "$QUICK" -eq 1 ]; then
+  # This google-benchmark accepts a bare double (newer releases want a
+  # trailing "s"; keep the flag compatible with the pinned toolchain).
+  MICRO_ARGS+=(--benchmark_min_time=0.05
+               --benchmark_filter='BM_CandidateDiscovery|BM_QosSubcycle')
+fi
+./build/bench/bench_micro "${MICRO_ARGS[@]}" >"$WORK_DIR/micro.json"
+
+echo "== scale harness (bench_scale) =="
+SCALE_ARGS=(--json "$WORK_DIR/scale.json" --threads 4)
+if [ "$QUICK" -eq 1 ]; then SCALE_ARGS+=(--quick); fi
+./build/bench/bench_scale "${SCALE_ARGS[@]}"
+
+echo "== merge -> $OUT =="
+python3 - "$WORK_DIR/micro.json" "$WORK_DIR/scale.json" "$OUT" "$QUICK" <<'EOF'
+import json, sys
+micro_path, scale_path, out_path, quick = sys.argv[1:5]
+micro = json.load(open(micro_path))
+scale = json.load(open(scale_path))
+doc = {
+    "schema": "cloudfog.bench/1",
+    "quick": quick == "1",
+    "context": {k: micro.get("context", {}).get(k)
+                for k in ("num_cpus", "mhz_per_cpu", "library_build_type")},
+    "scale": scale,
+    "micro": [
+        {"name": b["name"], "real_time_ns": b["real_time"],
+         "cpu_time_ns": b["cpu_time"],
+         "items_per_second": b.get("items_per_second")}
+        for b in micro.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ],
+}
+disc = {p["fleet"]: p for p in scale["candidate_discovery"]}
+sub = scale["subcycle"]
+doc["headline"] = {
+    "discovery_speedup_10k_fleet": disc.get(10000, disc[max(disc)])["speedup"],
+    "subcycle_speedup_scaleout_nt": sub[-1]["speedup_nt"],
+    "subcycle_speedup_scaleout_1t": sub[-1]["speedup_1t"],
+}
+json.dump(doc, open(out_path, "w"), indent=1)
+print(json.dumps(doc["headline"], indent=1))
+if quick != "1":
+    assert doc["headline"]["discovery_speedup_10k_fleet"] >= 5.0, \
+        "candidate discovery speedup below the tracked 5x floor"
+    assert doc["headline"]["subcycle_speedup_scaleout_nt"] >= 2.0, \
+        "end-to-end subcycle speedup below the tracked 2x floor"
+EOF
+echo "bench report written to $OUT"

@@ -7,10 +7,13 @@
 #   4. determinism gate: fig7 and the seeded chaos smoke run twice; traces
 #      must be byte-identical and reports identical after canonicalization
 #      (wall-clock phase timings are the only sanctioned difference —
-#      tools/determinism/canonicalize_report.py)
+#      tools/determinism/canonicalize_report.py). Both workloads also run
+#      with --threads 4 and must match the serial traces byte-for-byte.
 #   5. bench smoke: observability export schema checks
 #   6. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
-#      ctest, and the chaos smoke re-run under ASan
+#      ctest with CLOUDFOG_THREADS=2 (races in the parallel QoS pass fail
+#      here), a TSan 4-thread fig7 cross-checked against the plain trace,
+#      and the chaos smoke re-run under ASan
 #
 #   scripts/check.sh            everything
 #   scripts/check.sh --quick    stages 1–5 only (no sanitizer builds)
@@ -64,6 +67,19 @@ python3 tools/determinism/canonicalize_report.py --check \
   echo "determinism gate FAILED: fig7 report differs beyond phase timings" >&2; exit 1; }
 echo "fig7: trace byte-identical, stdout identical, canonical report identical"
 
+echo "== determinism gate: serial vs parallel (fig7 --threads 4) =="
+./build/bench/bench_fig7_latency --quick --threads 4 \
+  --trace "$SMOKE_DIR/fig7_trace_mt.jsonl" >"$SMOKE_DIR/fig7_stdout_mt.txt"
+cmp -s "$SMOKE_DIR/fig7_trace_a.jsonl" "$SMOKE_DIR/fig7_trace_mt.jsonl" || {
+  echo "determinism gate FAILED: fig7 trace differs between --threads 1 and 4" >&2
+  diff <(head -c 2000 "$SMOKE_DIR/fig7_trace_a.jsonl") \
+       <(head -c 2000 "$SMOKE_DIR/fig7_trace_mt.jsonl") | head -10 >&2 || true
+  exit 1
+}
+cmp -s "$SMOKE_DIR/fig7_stdout_a.txt" "$SMOKE_DIR/fig7_stdout_mt.txt" || {
+  echo "determinism gate FAILED: fig7 stdout differs between --threads 1 and 4" >&2; exit 1; }
+echo "fig7: 4-thread run byte-identical to serial"
+
 echo "== determinism gate: double-run seeded chaos =="
 CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick \
   --report-json "$SMOKE_DIR/chaos_report_a.json" \
@@ -78,7 +94,11 @@ cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_b.jsonl" || {
 python3 tools/determinism/canonicalize_report.py --check \
   "$SMOKE_DIR/chaos_report_a.json" "$SMOKE_DIR/chaos_report_b.json" || {
   echo "determinism gate FAILED: chaos report differs beyond phase timings" >&2; exit 1; }
-echo "chaos: seeded replay byte-identical, canonical report identical"
+CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick --threads 4 \
+  --trace "$SMOKE_DIR/chaos_trace_mt.jsonl" >/dev/null
+cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_mt.jsonl" || {
+  echo "determinism gate FAILED: chaos trace differs between --threads 1 and 4" >&2; exit 1; }
+echo "chaos: seeded replay byte-identical (including --threads 4), canonical report identical"
 
 echo "== bench smoke: observability exports =="
 python3 - "$SMOKE_DIR/fig7_report_a.json" "$SMOKE_DIR/fig7_trace_a.jsonl" <<'EOF'
@@ -125,10 +145,17 @@ if [ "$QUICK" -eq 0 ]; then
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-  echo "== sanitizer matrix: TSan build =="
+  echo "== sanitizer matrix: TSan build (2-thread QoS pass under every test) =="
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS"
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+  CLOUDFOG_THREADS=2 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+  echo "== TSan parallel leg: fig7 --threads 4 race check + trace cross-check =="
+  ./build-tsan/bench/bench_fig7_latency --quick --threads 4 \
+    --trace "$SMOKE_DIR/fig7_tsan_mt.jsonl" >/dev/null
+  cmp -s "$SMOKE_DIR/fig7_trace_a.jsonl" "$SMOKE_DIR/fig7_tsan_mt.jsonl" || {
+    echo "fig7 --threads 4 trace diverged between plain and TSan builds" >&2; exit 1; }
+  echo "TSan 4-thread fig7 race-free and byte-identical to the plain serial run"
 
   echo "== chaos smoke under ASan (lifetime bugs hide in fault paths) =="
   CLOUDFOG_FAULT_SEED=424242 ./build-asan/bench/bench_ext_chaos --quick \

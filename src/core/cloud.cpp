@@ -6,6 +6,23 @@
 
 namespace cloudfog::core {
 
+namespace {
+
+// splitmix64 finalizer — mixes the bit patterns of an endpoint's fields
+// into a hash key for the nearest-datacenter memo.
+std::uint64_t mix64(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+}  // namespace
+
+std::size_t Cloud::EndpointKeyHash::operator()(const EndpointKey& k) const {
+  return static_cast<std::size_t>(mix64(k.x ^ mix64(k.y ^ mix64(k.access))));
+}
+
 Cloud::Cloud(std::vector<DatacenterState> datacenters, const net::LatencyModel& latency,
              net::IpLocator locator)
     : datacenters_(std::move(datacenters)), latency_(latency), locator_(std::move(locator)) {
@@ -23,6 +40,15 @@ const DatacenterState& Cloud::datacenter(std::size_t i) const {
 }
 
 std::size_t Cloud::nearest_datacenter(const net::Endpoint& who) const {
+  // The datacenter set is fixed at construction and endpoints never move,
+  // so the first answer per distinct endpoint is authoritative. Keyed by
+  // exact bit patterns — no tolerance, no false sharing between endpoints.
+  const EndpointKey key{std::bit_cast<std::uint64_t>(who.position.x_km),
+                        std::bit_cast<std::uint64_t>(who.position.y_km),
+                        std::bit_cast<std::uint64_t>(who.access_latency_ms)};
+  const auto hit = nearest_dc_memo_.find(key);
+  if (hit != nearest_dc_memo_.end()) return hit->second;
+
   std::size_t best = 0;
   double best_rtt = latency_.rtt_ms(who, datacenters_[0].endpoint);
   for (std::size_t i = 1; i < datacenters_.size(); ++i) {
@@ -32,25 +58,47 @@ std::size_t Cloud::nearest_datacenter(const net::Endpoint& who) const {
       best = i;
     }
   }
+  nearest_dc_memo_.emplace(key, best);
   return best;
 }
 
 void Cloud::register_supernode(SupernodeState& sn, util::Rng& rng) {
   sn.ip = locator_.register_node(sn.endpoint.position, rng);
+  ++registry_epoch_;
 }
 
 void Cloud::unregister_supernode(const SupernodeState& sn) {
   locator_.unregister_node(sn.ip);
+  ++registry_epoch_;
 }
 
-std::vector<std::size_t> Cloud::candidate_supernodes(
-    const net::Endpoint& player, const std::vector<SupernodeState>& fleet,
-    std::size_t count) const {
-  struct Scored {
-    std::size_t index = 0;
-    double distance_km = 0.0;
-  };
-  std::vector<Scored> scored;
+std::vector<std::size_t> Cloud::candidate_supernodes(const net::Endpoint& player,
+                                                     const std::vector<SupernodeState>& fleet,
+                                                     std::size_t count) const {
+  std::vector<std::size_t> out;
+  candidate_supernodes_into(player, fleet, count, out);
+  return out;
+}
+
+void Cloud::candidate_supernodes_into(const net::Endpoint& player,
+                                      const std::vector<SupernodeState>& fleet, std::size_t count,
+                                      std::vector<std::size_t>& out) const {
+  if (mode_ == CandidateMode::kLinear) {
+    candidate_supernodes_linear(player, fleet, count, out);
+    return;
+  }
+  out.clear();
+  if (count == 0 || fleet.empty()) return;
+  ensure_index(fleet);
+  index_.nearest_accepting(player.position, fleet, count, out);
+}
+
+void Cloud::candidate_supernodes_linear(const net::Endpoint& player,
+                                        const std::vector<SupernodeState>& fleet,
+                                        std::size_t count, std::vector<std::size_t>& out) const {
+  out.clear();
+  auto& scored = linear_scratch_;
+  scored.clear();
   scored.reserve(fleet.size());
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     const SupernodeState& sn = fleet[i];
@@ -59,16 +107,32 @@ std::vector<std::size_t> Cloud::candidate_supernodes(
     // know the supernode's true position, only what its IP resolves to.
     const auto located = locator_.locate(sn.ip);
     const net::GeoPoint where = located.value_or(sn.endpoint.position);
-    scored.push_back(Scored{i, net::distance_km(player.position, where)});
+    scored.emplace_back(net::distance_km(player.position, where), i);
   }
   const std::size_t take = std::min(count, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
                     scored.end(),
-                    [](const Scored& a, const Scored& b) { return a.distance_km < b.distance_km; });
-  std::vector<std::size_t> out;
+                    [](const std::pair<double, std::size_t>& a,
+                       const std::pair<double, std::size_t>& b) {
+                      if (a.first != b.first) return a.first < b.first;
+                      return a.second < b.second;
+                    });
   out.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) out.push_back(scored[i].index);
-  return out;
+  for (std::size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+}
+
+void Cloud::ensure_index(const std::vector<SupernodeState>& fleet) const {
+  if (indexed_fleet_ == fleet.data() && indexed_size_ == fleet.size() &&
+      indexed_epoch_ == registry_epoch_)
+    return;
+  std::vector<net::GeoPoint> positions;
+  positions.reserve(fleet.size());
+  for (const SupernodeState& sn : fleet)
+    positions.push_back(locator_.locate(sn.ip).value_or(sn.endpoint.position));
+  index_.rebuild(positions);
+  indexed_fleet_ = fleet.data();
+  indexed_size_ = fleet.size();
+  indexed_epoch_ = registry_epoch_;
 }
 
 }  // namespace cloudfog::core

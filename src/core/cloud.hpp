@@ -7,16 +7,31 @@
 // the player" — closeness judged by IP geolocation, which is deliberately
 // noisy here (see net::IpLocator), so the player's own RTT probing still
 // has work to do.
+//
+// Candidate discovery runs on a geo-grid spatial index by default
+// (SupernodeIndex, DESIGN.md §10); the exact-equivalent linear scan is
+// kept as the engine of record for property tests and the tracked bench
+// baseline. nearest_datacenter memoizes per distinct endpoint — endpoints
+// and the datacenter set are immutable after construction.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/entities.hpp"
+#include "core/supernode_index.hpp"
 #include "net/ip_locator.hpp"
 #include "net/latency_model.hpp"
 
 namespace cloudfog::core {
+
+/// Which engine answers candidate_supernodes. kGrid and kLinear return
+/// identical results (machine-checked by the grid/linear property test);
+/// kLinear exists as the reference + recorded perf baseline.
+enum class CandidateMode { kGrid, kLinear };
 
 class Cloud {
  public:
@@ -31,6 +46,7 @@ class Cloud {
 
   /// Index of the datacenter with the lowest RTT to `who` — where the
   /// player's game state lives and where direct streaming comes from.
+  /// Memoized per distinct endpoint (both sides are immutable).
   std::size_t nearest_datacenter(const net::Endpoint& who) const;
 
   /// Registers a supernode in the table (geolocating its IP).
@@ -46,13 +62,54 @@ class Cloud {
                                                 const std::vector<SupernodeState>& fleet,
                                                 std::size_t count) const;
 
+  /// Allocation-free variant: fills `out` (cleared first). This is the
+  /// join/migration hot path — callers own the scratch buffer.
+  void candidate_supernodes_into(const net::Endpoint& player,
+                                 const std::vector<SupernodeState>& fleet, std::size_t count,
+                                 std::vector<std::size_t>& out) const;
+
+  /// Reference implementation: full linear scan, ordered by
+  /// (distance, index). Element-for-element identical to the grid path.
+  void candidate_supernodes_linear(const net::Endpoint& player,
+                                   const std::vector<SupernodeState>& fleet, std::size_t count,
+                                   std::vector<std::size_t>& out) const;
+
+  CandidateMode candidate_mode() const { return mode_; }
+  void set_candidate_mode(CandidateMode mode) { mode_ = mode; }
+
   const net::IpLocator& locator() const { return locator_; }
   const net::LatencyModel& latency() const { return latency_; }
 
  private:
+  /// Lazily (re)builds the spatial index when the fleet identity or the
+  /// registration epoch changed since the last build.
+  void ensure_index(const std::vector<SupernodeState>& fleet) const;
+
+  struct EndpointKey {
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+    std::uint64_t access = 0;
+
+    friend bool operator==(const EndpointKey&, const EndpointKey&) = default;
+  };
+  struct EndpointKeyHash {
+    std::size_t operator()(const EndpointKey& k) const;
+  };
+
   std::vector<DatacenterState> datacenters_;
   const net::LatencyModel& latency_;
   net::IpLocator locator_;
+
+  CandidateMode mode_ = CandidateMode::kGrid;
+  /// Bumped on every (un)registration — geolocations may have changed.
+  std::uint64_t registry_epoch_ = 1;
+  mutable SupernodeIndex index_;
+  mutable const SupernodeState* indexed_fleet_ = nullptr;
+  mutable std::size_t indexed_size_ = 0;
+  mutable std::uint64_t indexed_epoch_ = 0;
+  /// Linear-scan scratch, reused across calls (single-threaded contract).
+  mutable std::vector<std::pair<double, std::size_t>> linear_scratch_;
+  mutable std::unordered_map<EndpointKey, std::size_t, EndpointKeyHash> nearest_dc_memo_;
 };
 
 }  // namespace cloudfog::core

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,9 @@ struct PlayerState {
   std::optional<video::StreamSession> session;
   reputation::ReputationStore reputation;  ///< this player's private ratings
   std::vector<std::size_t> candidate_supernodes;  ///< cached cloud answer
+  /// Memoized Cloud::nearest_datacenter answer for this player's endpoint
+  /// (immutable after testbed construction); -1 until first computed.
+  std::int64_t nearest_dc_cache = -1;
   /// Continuity experienced this cycle toward the supernode that served
   /// it, for end-of-cycle rating (§4.1).
   double cycle_continuity_sum = 0.0;

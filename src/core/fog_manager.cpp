@@ -60,12 +60,8 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
   // Step 2: probe every candidate; drop those whose one-way transmission
   // delay exceeds L_max. Probes run in parallel, so the protocol pays the
   // slowest probe round-trip once.
-  struct Probed {
-    std::size_t index = 0;
-    double rtt_ms = 0.0;
-    double score = 0.0;
-  };
-  std::vector<Probed> qualified;
+  auto& qualified = qualified_;
+  qualified.clear();
   double slowest_probe = 0.0;
   auto& rec = obs::Recorder::global();
   {
@@ -153,6 +149,14 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
   return out;
 }
 
+std::size_t FogManager::nearest_dc(PlayerState& player) const {
+  if (player.nearest_dc_cache < 0) {
+    player.nearest_dc_cache =
+        static_cast<std::int64_t>(cloud_.nearest_datacenter(player.info.endpoint));
+  }
+  return static_cast<std::size_t>(player.nearest_dc_cache);
+}
+
 SelectionOutcome FogManager::select_with_budget(PlayerState& player,
                                                 std::vector<SupernodeState>& fleet,
                                                 const game::GameCatalog& catalog,
@@ -160,15 +164,15 @@ SelectionOutcome FogManager::select_with_budget(PlayerState& player,
                                                 util::Rng& rng,
                                                 fault::RetryBudget& budget) const {
   // Step 1: candidate lookup at the cloud — one RTT to the nearest DC.
-  const std::size_t dc = cloud_.nearest_datacenter(player.info.endpoint);
+  const std::size_t dc = nearest_dc(player);
   const double cloud_rtt =
       latency_.rtt_ms(player.info.endpoint, cloud_.datacenter(dc).endpoint);
   budget.charge_ms(cloud_rtt);
 
   {
     CLOUDFOG_TIMED_SCOPE("fog.discovery");
-    player.candidate_supernodes =
-        cloud_.candidate_supernodes(player.info.endpoint, fleet, cfg_.candidate_count);
+    cloud_.candidate_supernodes_into(player.info.endpoint, fleet, cfg_.candidate_count,
+                                     player.candidate_supernodes);
   }
 
   const double lmax_ms = catalog.game(player.game).latency_requirement_ms *
@@ -216,7 +220,7 @@ SelectionOutcome FogManager::migrate(PlayerState& player, std::vector<SupernodeS
     if (out.budget_exhausted) {
       // Deadline spent on the cached candidates already: degrade to the
       // cloud immediately rather than starting a full search.
-      const std::size_t dc = cloud_.nearest_datacenter(player.info.endpoint);
+      const std::size_t dc = nearest_dc(player);
       player.serving = ServingRef{ServingKind::kCloud, dc};
       out.serving = player.serving;
       out.join_latency_ms += cfg_.connect_setup_ms;

@@ -111,10 +111,22 @@ class FogManager {
                                       bool reputation_enabled, util::Rng& rng,
                                       fault::RetryBudget& budget) const;
 
+  /// player.nearest_dc_cache, computed on first use (endpoints and the
+  /// datacenter set are immutable).
+  std::size_t nearest_dc(PlayerState& player) const;
+
   FogManagerConfig cfg_;
   const Cloud& cloud_;
   const net::LatencyModel& latency_;
   const fault::FaultState* faults_ = nullptr;
+  /// Probe-qualification scratch, reused across selections (the manager's
+  /// callers are single-threaded; try_candidates never nests).
+  struct Probed {
+    std::size_t index = 0;
+    double rtt_ms = 0.0;
+    double score = 0.0;
+  };
+  mutable std::vector<Probed> qualified_;
 };
 
 }  // namespace cloudfog::core

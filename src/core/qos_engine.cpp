@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"
@@ -9,13 +10,32 @@
 
 namespace cloudfog::core {
 
+namespace {
+
+// Worker count: explicit config wins, else the CLOUDFOG_THREADS
+// environment override (bench_common's --threads sets it), else serial.
+int resolve_threads(int configured) {
+  if (configured > 0) return std::min(configured, 64);
+  const char* env = std::getenv("CLOUDFOG_THREADS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(std::min(parsed, 64L));
+  }
+  return 1;
+}
+
+}  // namespace
+
 QosEngine::QosEngine(QosEngineConfig cfg, const net::LatencyModel& latency,
                      const game::GameCatalog& catalog)
-    : cfg_(cfg), latency_(latency), catalog_(catalog) {
+    : cfg_(cfg), latency_(latency), catalog_(catalog), threads_(resolve_threads(cfg.threads)) {
   CLOUDFOG_REQUIRE(cfg.substeps >= 1, "need at least one substep");
   CLOUDFOG_REQUIRE(cfg.substep_seconds > 0.0, "substep length must be positive");
   CLOUDFOG_REQUIRE(cfg.burst_headroom >= 1.0, "burst headroom below 1");
   CLOUDFOG_REQUIRE(cfg.base_jitter_ms > 0.0, "jitter mean must be positive");
+  // Intern the one metric site reachable from parallel shards on this
+  // (main) thread, so no worker is ever the first to touch the registry.
+  video::warm_rate_adapter_obs();
 }
 
 double QosEngine::EntityLoad::utilization() const {
@@ -113,24 +133,204 @@ double QosEngine::unloaded_response_latency_ms(const PlayerState& player,
   return base + transfer_ms;
 }
 
+void QosEngine::evaluate_player(PlayerState& player, PlayerMemo& memo, Acc& acc,
+                                const std::vector<SupernodeState>& fleet, const Cloud& cloud,
+                                const std::vector<CdnServerState>& cdn) const {
+  EntityLoad load;
+  switch (player.serving.kind) {
+    case ServingKind::kSupernode: {
+      const auto& sn = fleet[player.serving.index];
+      load = EntityLoad{sn.offered_upload_mbps(), sn.demanded_kbps};
+      break;
+    }
+    case ServingKind::kCloud: {
+      const auto& dc = cloud.datacenter(player.serving.index);
+      load = EntityLoad{dc.uplink_mbps, dc.demanded_kbps};
+      break;
+    }
+    case ServingKind::kCdn: {
+      const auto& edge = cdn[player.serving.index];
+      load = EntityLoad{edge.uplink_mbps, edge.demanded_kbps};
+      break;
+    }
+    case ServingKind::kNone:
+      break;
+  }
+
+  const double bitrate = player.session->current_bitrate_kbps();
+  const net::Endpoint& e = serving_endpoint(player.serving, fleet, cloud, cdn);
+
+  // Tier-1 memo: the pure geodesic terms. one_way_ms is symmetric bit for
+  // bit (a.access + b.access commutes, the distance is a square sum), so
+  // one cached value substitutes into both the (p,e) rtt and the (e,p)
+  // video-path expression the recompute path uses.
+  PathTerms& terms = memo.terms;
+  const bool terms_fresh = cfg_.memoize && terms.valid && terms.ref == player.serving &&
+                           terms.player_ep == player.info.endpoint && terms.entity_ep == e;
+  if (!terms_fresh) {
+    terms.ref = player.serving;
+    terms.player_ep = player.info.endpoint;
+    terms.entity_ep = e;
+    terms.one_way_ms = latency_.one_way_ms(e, player.info.endpoint);
+    terms.rtt_ms = latency_.rtt_ms(player.info.endpoint, e);
+    terms.wan_kbps = latency_.wan_throughput_mbps(terms.rtt_ms) * 1000.0;
+    terms.valid = true;
+    memo.obs.valid = false;
+  }
+
+  // A malicious supernode's deliberate hold-back (§3.6 extension)
+  // delays both the response and every video packet.
+  const double sabotage_ms = player.serving.kind == ServingKind::kSupernode
+                                 ? fleet[player.serving.index].sabotage_delay_ms
+                                 : 0.0;
+  // Injected faults degrade fog paths: a slow node delays frames like
+  // sabotage does; an impaired cloud→supernode update channel delays
+  // the response (the supernode renders against stale state) and drops
+  // update packets; a partition between the player's state DC and the
+  // supernode's region starves the stream entirely.
+  double fault_response_ms = 0.0;
+  double fault_video_ms = 0.0;
+  double fault_loss = 0.0;
+  if (faults_ != nullptr && faults_->any_active() &&
+      player.serving.kind == ServingKind::kSupernode) {
+    const std::size_t sn_index = player.serving.index;
+    const double slow = faults_->slow_ms(sn_index);
+    fault_response_ms = slow + faults_->channel().update_delay_ms;
+    fault_video_ms = slow;
+    fault_loss = faults_->channel().update_loss;
+    if (faults_->partitioned_from_supernode(player.state_dc, sn_index)) {
+      fault_loss = 1.0;
+    }
+  }
+
+  // Tier-2 memo: with the terms fresh and every remaining arithmetic
+  // input bit-unchanged, the cached observation + continuity are exactly
+  // what the recomputation below would produce.
+  ObsMemo& om = memo.obs;
+  video::PathObservation path;
+  double continuity = 0.0;
+  if (terms_fresh && om.valid && om.game == player.game && om.bitrate == bitrate &&
+      om.offered_mbps == load.offered_mbps && om.demanded_kbps == load.demanded_kbps &&
+      om.cross_server_ms == player.cross_server_ms && om.sabotage_ms == sabotage_ms &&
+      om.fault_response_ms == fault_response_ms && om.fault_video_ms == fault_video_ms &&
+      om.fault_loss == fault_loss) {
+    path = om.path;
+    continuity = om.continuity;
+  } else {
+    const double down_kbps = player.info.bandwidth.download_mbps * 1000.0;
+    const double share = load.share_kbps(bitrate);
+    // Raw path rate bounds serialization delay; the sustained rate the
+    // adapter/buffer sees is additionally capped at what the sender can
+    // generate (realtime video + a small burst window).
+    const double raw_kbps = std::max(1.0, std::min({terms.wan_kbps, down_kbps, share}));
+    const double throughput_kbps = std::min(raw_kbps, bitrate * cfg_.burst_headroom);
+
+    // Transfer = frame serialization over the path + queueing at the
+    // entity's uplink (M/M/1-style u/(1−u) of the uplink service time).
+    const double frame = game::frame_bits(bitrate);
+    const double queue = load.queue_factor(cfg_.max_queue_factor);
+    const double uplink_kbps = std::max(raw_kbps, load.offered_mbps * 1000.0);
+    const double transfer_ms = frame / (raw_kbps * 1000.0) * 1000.0 +
+                               queue * frame / (uplink_kbps * 1000.0) * 1000.0;
+    // Response-latency assembly replicates base_latency_ms() with the
+    // cached one-way term substituted in the same addition order.
+    double base_ms = cfg_.playout_processing_ms + cfg_.state_compute_ms;
+    switch (player.serving.kind) {
+      case ServingKind::kCloud:
+        base_ms += player.cross_server_ms;
+        base_ms += terms.one_way_ms;
+        break;
+      case ServingKind::kSupernode:
+        base_ms += player.cross_server_ms;
+        base_ms += cfg_.render_ms;
+        base_ms += terms.one_way_ms;
+        break;
+      case ServingKind::kCdn:
+        base_ms += cfg_.cdn_cooperation_ms;
+        base_ms += cfg_.render_ms;
+        base_ms += terms.one_way_ms;
+        break;
+      case ServingKind::kNone:
+        CLOUDFOG_REQUIRE(false, "player has no serving entity");
+    }
+    const double response_ms = base_ms + transfer_ms + sabotage_ms + fault_response_ms;
+    // Video packets only traverse entity → player; the action path and
+    // state computation delay the *response*, not packet delivery.
+    const double video_ms = terms.one_way_ms + transfer_ms + sabotage_ms + fault_video_ms;
+    const double jitter_ms =
+        cfg_.base_jitter_ms * (1.0 + cfg_.jitter_inflation * load.utilization()) +
+        cfg_.path_jitter_fraction * terms.rtt_ms;
+
+    path.response_latency_ms = response_ms;
+    path.video_latency_ms = video_ms;
+    path.jitter_mean_ms = jitter_ms;
+    path.throughput_kbps = throughput_kbps;
+    path.interval_s = cfg_.substep_seconds;
+    path.extra_loss = fault_loss;
+    continuity = player.session->continuity_for(path);
+
+    om.game = player.game;
+    om.bitrate = bitrate;
+    om.offered_mbps = load.offered_mbps;
+    om.demanded_kbps = load.demanded_kbps;
+    om.cross_server_ms = player.cross_server_ms;
+    om.sabotage_ms = sabotage_ms;
+    om.fault_response_ms = fault_response_ms;
+    om.fault_video_ms = fault_video_ms;
+    om.fault_loss = fault_loss;
+    om.path = path;
+    om.continuity = continuity;
+    om.valid = cfg_.memoize;
+  }
+
+  const auto sample = player.session->apply(path, continuity);
+
+  acc.latency_sum += sample.response_latency_ms;
+  acc.continuity_sum += sample.continuity;
+  acc.bitrate_sum += sample.bitrate_kbps;
+  ++acc.samples;
+}
+
 SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
                                     std::vector<SupernodeState>& fleet, Cloud& cloud,
                                     std::vector<CdnServerState>& cdn) const {
   CLOUDFOG_TIMED_SCOPE("qos.subcycle");
   SubcycleQos out;
 
-  // Per-player accumulators across substeps.
-  struct Acc {
-    double latency_sum = 0.0;
-    double continuity_sum = 0.0;
-    double bitrate_sum = 0.0;
-    int samples = 0;
-  };
-  std::vector<Acc> acc(players.size());
+  // Per-player accumulators across substeps (scratch reused across calls).
+  acc_.assign(players.size(), Acc{});
+  if (memo_players_ != players.data() || memo_.size() != players.size()) {
+    memo_.assign(players.size(), PlayerMemo{});
+    memo_players_ = players.data();
+  }
+
+  // The work list — online sessions attached to a serving entity — is
+  // invariant across substeps: nothing in the subcycle changes liveness
+  // or attachment. Build it once; both passes iterate it in index order.
+  work_.clear();
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    const PlayerState& player = players[i];
+    if (player.online && player.session.has_value() && player.serving.attached())
+      work_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Update-feed egress is likewise constant within the subcycle
+  // (served/deployed only change between subcycles): one O(fleet) scan
+  // instead of one per substep. The summands are exact in double
+  // (integral kbps), so the regrouping is bit-neutral.
+  double feed_kbps = 0.0;
+  for (const auto& sn : fleet) {
+    if (sn.deployed && sn.served > 0) feed_kbps += cfg_.update_feed_kbps;
+  }
+  for (const auto& edge : cdn) {
+    if (edge.served > 0) feed_kbps += cfg_.update_feed_kbps;
+  }
 
   double egress_sum_mbps = 0.0;
   double server_latency_sum = 0.0;
   std::size_t server_latency_samples = 0;
+  const bool parallel = threads_ > 1 && !work_.empty();
+  if (parallel && pool_ == nullptr) pool_ = std::make_unique<util::ShardPool>(threads_);
 
   for (int step = 0; step < cfg_.substeps; ++step) {
     // Pass 1: demand tallies (bitrates may have adapted last substep).
@@ -141,8 +341,8 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
     }
     for (auto& edge : cdn) edge.demanded_kbps = 0.0;
 
-    for (const auto& player : players) {
-      if (!player.online || !player.session.has_value()) continue;
+    for (const std::uint32_t i : work_) {
+      const PlayerState& player = players[i];
       const double bitrate = player.session->current_bitrate_kbps();
       switch (player.serving.kind) {
         case ServingKind::kSupernode:
@@ -167,113 +367,46 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
     // a consistency feed to keep their world replicas in sync.
     double egress_kbps = 0.0;
     for (const auto& dc : cloud.datacenters()) egress_kbps += dc.demanded_kbps;
-    for (const auto& sn : fleet) {
-      if (sn.deployed && sn.served > 0) egress_kbps += cfg_.update_feed_kbps;
-    }
-    for (const auto& edge : cdn) {
-      if (edge.served > 0) egress_kbps += cfg_.update_feed_kbps;
-    }
+    egress_kbps += feed_kbps;
     egress_sum_mbps += egress_kbps / 1000.0;
 
-    // Pass 2: per-session path observation.
-    CLOUDFOG_TIMED_SCOPE("qos.rate_adapt");
-    for (std::size_t i = 0; i < players.size(); ++i) {
-      PlayerState& player = players[i];
-      if (!player.online || !player.session.has_value()) continue;
-      if (!player.serving.attached()) continue;
-
-      EntityLoad load;
-      switch (player.serving.kind) {
-        case ServingKind::kSupernode: {
-          const auto& sn = fleet[player.serving.index];
-          load = EntityLoad{sn.offered_upload_mbps(), sn.demanded_kbps};
-          break;
-        }
-        case ServingKind::kCloud: {
-          const auto& dc = cloud.datacenter(player.serving.index);
-          load = EntityLoad{dc.uplink_mbps, dc.demanded_kbps};
-          break;
-        }
-        case ServingKind::kCdn: {
-          const auto& edge = cdn[player.serving.index];
-          load = EntityLoad{edge.uplink_mbps, edge.demanded_kbps};
-          break;
-        }
-        case ServingKind::kNone:
-          break;
-      }
-
-      const double bitrate = player.session->current_bitrate_kbps();
-      const net::Endpoint& e = serving_endpoint(player.serving, fleet, cloud, cdn);
-      const double rtt = latency_.rtt_ms(player.info.endpoint, e);
-      const double wan_kbps = latency_.wan_throughput_mbps(rtt) * 1000.0;
-      const double down_kbps = player.info.bandwidth.download_mbps * 1000.0;
-      const double share = load.share_kbps(bitrate);
-      // Raw path rate bounds serialization delay; the sustained rate the
-      // adapter/buffer sees is additionally capped at what the sender can
-      // generate (realtime video + a small burst window).
-      const double raw_kbps = std::max(1.0, std::min({wan_kbps, down_kbps, share}));
-      const double throughput_kbps = std::min(raw_kbps, bitrate * cfg_.burst_headroom);
-
-      // Transfer = frame serialization over the path + queueing at the
-      // entity's uplink (M/M/1-style u/(1−u) of the uplink service time).
-      const double frame = game::frame_bits(bitrate);
-      const double queue = load.queue_factor(cfg_.max_queue_factor);
-      const double uplink_kbps = std::max(raw_kbps, load.offered_mbps * 1000.0);
-      const double transfer_ms = frame / (raw_kbps * 1000.0) * 1000.0 +
-                                 queue * frame / (uplink_kbps * 1000.0) * 1000.0;
-      // A malicious supernode's deliberate hold-back (§3.6 extension)
-      // delays both the response and every video packet.
-      const double sabotage_ms = player.serving.kind == ServingKind::kSupernode
-                                     ? fleet[player.serving.index].sabotage_delay_ms
-                                     : 0.0;
-      // Injected faults degrade fog paths: a slow node delays frames like
-      // sabotage does; an impaired cloud→supernode update channel delays
-      // the response (the supernode renders against stale state) and drops
-      // update packets; a partition between the player's state DC and the
-      // supernode's region starves the stream entirely.
-      double fault_response_ms = 0.0;
-      double fault_video_ms = 0.0;
-      double fault_loss = 0.0;
-      if (faults_ != nullptr && faults_->any_active() &&
-          player.serving.kind == ServingKind::kSupernode) {
-        const std::size_t sn_index = player.serving.index;
-        const double slow = faults_->slow_ms(sn_index);
-        fault_response_ms = slow + faults_->channel().update_delay_ms;
-        fault_video_ms = slow;
-        fault_loss = faults_->channel().update_loss;
-        if (faults_->partitioned_from_supernode(player.state_dc, sn_index)) {
-          fault_loss = 1.0;
-        }
-      }
-      const double response_ms = base_latency_ms(player, player.serving, fleet, cloud, cdn) +
-                                 transfer_ms + sabotage_ms + fault_response_ms;
-      // Video packets only traverse entity → player; the action path and
-      // state computation delay the *response*, not packet delivery.
-      const double video_ms = latency_.one_way_ms(e, player.info.endpoint) + transfer_ms +
-                              sabotage_ms + fault_video_ms;
-      const double jitter_ms =
-          cfg_.base_jitter_ms * (1.0 + cfg_.jitter_inflation * load.utilization()) +
-          cfg_.path_jitter_fraction * rtt;
-
-      video::PathObservation path;
-      path.response_latency_ms = response_ms;
-      path.video_latency_ms = video_ms;
-      path.jitter_mean_ms = jitter_ms;
-      path.throughput_kbps = throughput_kbps;
-      path.interval_s = cfg_.substep_seconds;
-      path.extra_loss = fault_loss;
-      const auto sample = player.session->observe(path);
-
-      acc[i].latency_sum += sample.response_latency_ms;
-      acc[i].continuity_sum += sample.continuity;
-      acc[i].bitrate_sum += sample.bitrate_kbps;
-      ++acc[i].samples;
-
+    // The inter-server latency term depends only on pass-2-invariant
+    // state, so it accumulates serially regardless of the thread count —
+    // identical addition order to an all-serial run.
+    for (const std::uint32_t i : work_) {
+      const PlayerState& player = players[i];
       if (player.serving.kind != ServingKind::kCdn) {
         server_latency_sum += player.cross_server_ms;
         ++server_latency_samples;
       }
+    }
+
+    // Pass 2: per-session path observation. Parallel shards partition the
+    // work list into fixed contiguous ranges; each worker mutates only its
+    // players' state and buffers obs emissions in a per-shard capture,
+    // replayed in shard order below — byte-identical to the serial loop.
+    CLOUDFOG_TIMED_SCOPE("qos.rate_adapt");
+    if (!parallel) {
+      for (const std::uint32_t i : work_)
+        evaluate_player(players[i], memo_[i], acc_[i], fleet, cloud, cdn);
+    } else {
+      const std::size_t shards = static_cast<std::size_t>(threads_);
+      if (captures_.size() < shards) captures_.resize(shards);
+      pool_->run(static_cast<int>(shards), [&](int s) {
+        struct CaptureGuard {
+          explicit CaptureGuard(obs::ObsCapture* cap) { obs::Recorder::set_thread_capture(cap); }
+          ~CaptureGuard() { obs::Recorder::set_thread_capture(nullptr); }
+        };
+        const CaptureGuard guard(&captures_[static_cast<std::size_t>(s)]);
+        const std::size_t lo = work_.size() * static_cast<std::size_t>(s) / shards;
+        const std::size_t hi = work_.size() * (static_cast<std::size_t>(s) + 1) / shards;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::uint32_t i = work_[k];
+          evaluate_player(players[i], memo_[i], acc_[i], fleet, cloud, cdn);
+        }
+      });
+      auto& rec = obs::Recorder::global();
+      for (std::size_t s = 0; s < shards; ++s) rec.replay(captures_[s]);
     }
   }
 
@@ -284,7 +417,7 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
   std::size_t satisfied = 0;
   for (std::size_t i = 0; i < players.size(); ++i) {
     const PlayerState& player = players[i];
-    if (!player.online || acc[i].samples == 0) continue;
+    if (!player.online || acc_[i].samples == 0) continue;
     ++out.online_sessions;
     switch (player.serving.kind) {
       case ServingKind::kSupernode:
@@ -299,9 +432,9 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
       case ServingKind::kNone:
         break;
     }
-    const double avg_lat = acc[i].latency_sum / acc[i].samples;
-    const double avg_cont = acc[i].continuity_sum / acc[i].samples;
-    const double avg_bitrate = acc[i].bitrate_sum / acc[i].samples;
+    const double avg_lat = acc_[i].latency_sum / acc_[i].samples;
+    const double avg_cont = acc_[i].continuity_sum / acc_[i].samples;
+    const double avg_bitrate = acc_[i].bitrate_sum / acc_[i].samples;
     latency_sum += avg_lat;
     continuity_sum += avg_cont;
     mos_sum += qoe_.mos(avg_lat, std::min(1.0, avg_cont), avg_bitrate);

@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/cloud.hpp"
@@ -31,6 +33,8 @@
 #include "fault/fault_state.hpp"
 #include "game/game_catalog.hpp"
 #include "net/latency_model.hpp"
+#include "obs/recorder.hpp"
+#include "util/shard_pool.hpp"
 #include "video/qoe.hpp"
 
 namespace cloudfog::core {
@@ -53,6 +57,15 @@ struct QosEngineConfig {
   double path_jitter_fraction = 0.08;
   int substeps = 6;                     ///< adaptation intervals per subcycle
   double substep_seconds = 2.0;         ///< adapter estimation interval
+  /// Path-term & observation memoization (exact caches, DESIGN.md §10).
+  /// false = reference mode: recompute everything every substep — the
+  /// engine of record for the memo equality test and the tracked bench
+  /// baseline. Both modes produce byte-identical results.
+  bool memoize = true;
+  /// Worker threads for the per-player pass. 0 = read CLOUDFOG_THREADS
+  /// (default 1); 1 = serial. Results and trace bytes are identical at
+  /// every thread count (fixed sharding + shard-order obs replay).
+  int threads = 0;
 };
 
 /// Aggregate results of one subcycle (averaged over substeps & sessions).
@@ -96,6 +109,9 @@ class QosEngine {
                                       const std::vector<CdnServerState>& cdn,
                                       double bitrate_kbps) const;
 
+  /// Resolved worker-thread count (config > CLOUDFOG_THREADS > 1).
+  int threads() const { return threads_; }
+
  private:
   struct EntityLoad {
     double offered_mbps = 0.0;
@@ -106,6 +122,59 @@ class QosEngine {
     /// Proportional share of the uplink for a stream of `bitrate_kbps`.
     double share_kbps(double bitrate_kbps) const;
   };
+
+  /// Per-player accumulators across the subcycle's substeps.
+  struct Acc {
+    double latency_sum = 0.0;
+    double continuity_sum = 0.0;
+    double bitrate_sum = 0.0;
+    int samples = 0;
+  };
+
+  /// Tier-1 memo: pure (player endpoint, serving endpoint) quantities.
+  /// Valid while the serving ref and both endpoints are bit-unchanged —
+  /// endpoints are immutable, so this invalidates exactly on migration /
+  /// serving change.
+  struct PathTerms {
+    ServingRef ref{};
+    net::Endpoint player_ep{};
+    net::Endpoint entity_ep{};
+    double one_way_ms = 0.0;  ///< entity → player (order used by video/base terms)
+    double rtt_ms = 0.0;      ///< player ↔ entity
+    double wan_kbps = 0.0;    ///< RTT-limited WAN throughput (kbps)
+    bool valid = false;
+  };
+
+  /// Tier-2 memo: the full path observation, valid while every input that
+  /// feeds the transfer/jitter/continuity arithmetic is bit-unchanged.
+  /// Values are compared exactly, so a hit reproduces the recomputation
+  /// bit for bit.
+  struct ObsMemo {
+    game::GameId game = 0;
+    double bitrate = -1.0;
+    double offered_mbps = -1.0;
+    double demanded_kbps = -1.0;
+    double cross_server_ms = -1.0;
+    double sabotage_ms = -1.0;
+    double fault_response_ms = -1.0;
+    double fault_video_ms = -1.0;
+    double fault_loss = -1.0;
+    video::PathObservation path{};
+    double continuity = 0.0;
+    bool valid = false;
+  };
+
+  struct PlayerMemo {
+    PathTerms terms;
+    ObsMemo obs;
+  };
+
+  /// One player's substep: path computation (through the memo tiers) and
+  /// session update into `acc`. Touches only `player`, `memo`, `acc` and
+  /// shared *immutable* state — safe to run on parallel shards.
+  void evaluate_player(PlayerState& player, PlayerMemo& memo, Acc& acc,
+                       const std::vector<SupernodeState>& fleet, const Cloud& cloud,
+                       const std::vector<CdnServerState>& cdn) const;
 
   /// Latency from propagation and processing only (no transfer/queueing).
   double base_latency_ms(const PlayerState& player, const ServingRef& ref,
@@ -122,6 +191,17 @@ class QosEngine {
   const game::GameCatalog& catalog_;
   video::QoeModel qoe_;
   const fault::FaultState* faults_ = nullptr;
+  int threads_ = 1;
+
+  // Subcycle scratch + memo state, reused across calls. The engine's
+  // driver is single-threaded (run_subcycle is not reentrant); parallel
+  // shards touch disjoint elements only.
+  mutable std::vector<Acc> acc_;
+  mutable std::vector<std::uint32_t> work_;
+  mutable std::vector<PlayerMemo> memo_;
+  mutable const PlayerState* memo_players_ = nullptr;
+  mutable std::vector<obs::ObsCapture> captures_;
+  mutable std::unique_ptr<util::ShardPool> pool_;
 };
 
 }  // namespace cloudfog::core

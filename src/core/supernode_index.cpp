@@ -1,0 +1,151 @@
+#include "core/supernode_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/entities.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog::core {
+
+namespace {
+
+// (distance, index) — the total order both the grid and the linear
+// reference scan sort by.
+bool closer(const std::pair<double, std::size_t>& a, const std::pair<double, std::size_t>& b) {
+  if (a.first != b.first) return a.first < b.first;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+SupernodeIndex::SupernodeIndex(double cell_km) : cell_km_(cell_km) {
+  CLOUDFOG_REQUIRE(cell_km > 0.0, "grid cell size must be positive");
+}
+
+std::int64_t SupernodeIndex::cell_of(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cell_km_));
+}
+
+void SupernodeIndex::rebuild(const std::vector<net::GeoPoint>& positions) {
+  positions_ = positions;
+  cell_start_.clear();
+  cell_nodes_.clear();
+  min_cx_ = min_cy_ = 0;
+  max_cx_ = max_cy_ = -1;
+  width_ = 0;
+  if (positions_.empty()) return;
+
+  min_cx_ = min_cy_ = std::numeric_limits<std::int64_t>::max();
+  max_cx_ = max_cy_ = std::numeric_limits<std::int64_t>::min();
+  for (const net::GeoPoint& p : positions_) {
+    const std::int64_t cx = cell_of(p.x_km);
+    const std::int64_t cy = cell_of(p.y_km);
+    min_cx_ = std::min(min_cx_, cx);
+    max_cx_ = std::max(max_cx_, cx);
+    min_cy_ = std::min(min_cy_, cy);
+    max_cy_ = std::max(max_cy_, cy);
+  }
+  width_ = max_cx_ - min_cx_ + 1;
+  const std::int64_t height = max_cy_ - min_cy_ + 1;
+  const std::int64_t cells = width_ * height;
+  // Positions come from the bounded geo plane; a runaway extent would turn
+  // the dense layout into a memory bomb — fail loudly instead.
+  CLOUDFOG_REQUIRE(cells <= (std::int64_t{1} << 24), "grid extent too large for dense cells");
+
+  // CSR build: count per cell, exclusive prefix, then fill.
+  cell_start_.assign(static_cast<std::size_t>(cells) + 1, 0);
+  for (const net::GeoPoint& p : positions_) {
+    const std::size_t c = static_cast<std::size_t>(
+        (cell_of(p.y_km) - min_cy_) * width_ + (cell_of(p.x_km) - min_cx_));
+    ++cell_start_[c + 1];
+  }
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) cell_start_[c] += cell_start_[c - 1];
+  cell_nodes_.resize(positions_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(
+        (cell_of(positions_[i].y_km) - min_cy_) * width_ +
+        (cell_of(positions_[i].x_km) - min_cx_));
+    cell_nodes_[cursor[c]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void SupernodeIndex::scan_cell(std::int64_t cx, std::int64_t cy, const net::GeoPoint& from,
+                               const std::vector<SupernodeState>& fleet) const {
+  const std::size_t c =
+      static_cast<std::size_t>((cy - min_cy_) * width_ + (cx - min_cx_));
+  const std::uint32_t end = cell_start_[c + 1];
+  for (std::uint32_t k = cell_start_[c]; k < end; ++k) {
+    const std::uint32_t idx = cell_nodes_[k];
+    if (!fleet[idx].accepting()) continue;
+    scratch_.emplace_back(net::distance_km(from, positions_[idx]), static_cast<std::size_t>(idx));
+  }
+}
+
+void SupernodeIndex::nearest_accepting(const net::GeoPoint& from,
+                                       const std::vector<SupernodeState>& fleet,
+                                       std::size_t count, std::vector<std::size_t>& out) const {
+  out.clear();
+  if (count == 0 || positions_.empty()) return;
+  CLOUDFOG_REQUIRE(fleet.size() == positions_.size(), "index stale: fleet size changed");
+
+  scratch_.clear();
+  const std::int64_t cx = cell_of(from.x_km);
+  const std::int64_t cy = cell_of(from.y_km);
+  // Ring at which the entire populated bounding box has been visited.
+  const std::int64_t last_ring =
+      std::max(std::max(std::abs(min_cx_ - cx), std::abs(max_cx_ - cx)),
+               std::max(std::abs(min_cy_ - cy), std::abs(max_cy_ - cy)));
+  double kth = std::numeric_limits<double>::infinity();
+  for (std::int64_t r = 0; r <= last_ring; ++r) {
+    // A node in ring r is at least (r-1)·cell away (the query point may sit
+    // anywhere inside its own cell). Once that lower bound strictly exceeds
+    // the current k-th best distance, no farther ring can improve or even
+    // tie-break the result set.
+    if (scratch_.size() >= count && static_cast<double>(r - 1) * cell_km_ > kth) break;
+    const std::size_t before = scratch_.size();
+    if (r == 0) {
+      if (cx >= min_cx_ && cx <= max_cx_ && cy >= min_cy_ && cy <= max_cy_) {
+        scan_cell(cx, cy, from, fleet);
+      }
+    } else {
+      // Ring perimeter clamped to the populated bounding box: rows outside
+      // [min_cy_, max_cy_] and columns outside [min_cx_, max_cx_] hold no
+      // cells, so they cost nothing.
+      const std::int64_t x0 = std::max(cx - r, min_cx_);
+      const std::int64_t x1 = std::min(cx + r, max_cx_);
+      if (cy - r >= min_cy_ && cy - r <= max_cy_) {
+        for (std::int64_t x = x0; x <= x1; ++x) scan_cell(x, cy - r, from, fleet);
+      }
+      if (cy + r >= min_cy_ && cy + r <= max_cy_) {
+        for (std::int64_t x = x0; x <= x1; ++x) scan_cell(x, cy + r, from, fleet);
+      }
+      const std::int64_t y0 = std::max(cy - r + 1, min_cy_);
+      const std::int64_t y1 = std::min(cy + r - 1, max_cy_);
+      if (cx - r >= min_cx_ && cx - r <= max_cx_) {
+        for (std::int64_t y = y0; y <= y1; ++y) scan_cell(cx - r, y, from, fleet);
+      }
+      if (cx + r >= min_cx_ && cx + r <= max_cx_) {
+        for (std::int64_t y = y0; y <= y1; ++y) scan_cell(cx + r, y, from, fleet);
+      }
+    }
+    // Re-derive the k-th best only when this ring contributed candidates —
+    // in the saturated regime rings are many and mostly empty, and an
+    // O(|scratch|) selection per ring would swamp the scan itself.
+    if (scratch_.size() >= count && scratch_.size() != before) {
+      const auto kth_it = scratch_.begin() + static_cast<std::ptrdiff_t>(count) - 1;
+      std::nth_element(scratch_.begin(), kth_it, scratch_.end(), closer);
+      kth = kth_it->first;
+    }
+  }
+
+  const std::size_t take = std::min(count, scratch_.size());
+  std::partial_sort(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(take),
+                    scratch_.end(), closer);
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(scratch_[i].second);
+}
+
+}  // namespace cloudfog::core

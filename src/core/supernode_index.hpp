@@ -1,0 +1,74 @@
+// Geo-grid spatial index over registered supernode positions (perf layer
+// behind Cloud::candidate_supernodes, DESIGN.md §10).
+//
+// The index answers exact k-nearest-accepting queries: bucket every
+// supernode's *geolocated* position (the registry's noisy view, not the
+// true endpoint) into fixed-size grid cells, then expand Chebyshev rings
+// around the query cell until the k-th best distance provably beats
+// anything a farther ring could hold. Liveness (deployed / failed /
+// capacity) is read from the fleet at query time, so churn in those
+// fields needs no index maintenance; only (un)registration — which can
+// change a node's geolocated position — forces a rebuild, which Cloud
+// triggers lazily via an epoch counter.
+//
+// Cells live in a dense CSR layout over the populated bounding box and
+// rings are clamped to that box, so the saturated worst case (few
+// accepting nodes anywhere — every ring expands) degrades to
+// O(cells + fleet) array reads, the same order as the linear scan it
+// replaces.
+//
+// Results are ordered by (distance, fleet index): a total order, so the
+// grid path and the linear reference scan agree element-for-element.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/coordinates.hpp"
+
+namespace cloudfog::core {
+
+struct SupernodeState;
+
+class SupernodeIndex {
+ public:
+  /// `cell_km` trades ring fan-out against bucket occupancy; the default
+  /// suits metro-clustered fleets on the GeoPlane (≈60 km metro sigma).
+  explicit SupernodeIndex(double cell_km = 150.0);
+
+  /// Rebuilds from scratch: node `i` of the fleet sits at `positions[i]`.
+  void rebuild(const std::vector<net::GeoPoint>& positions);
+
+  std::size_t size() const { return positions_.size(); }
+
+  /// Appends to `out` (cleared first) the indices of the `count` nearest
+  /// nodes for which `fleet[i].accepting()` holds, ordered by
+  /// (distance, index). Exact — identical to a full scan. Single-threaded
+  /// (uses internal query scratch).
+  void nearest_accepting(const net::GeoPoint& from, const std::vector<SupernodeState>& fleet,
+                         std::size_t count, std::vector<std::size_t>& out) const;
+
+ private:
+  std::int64_t cell_of(double v) const;
+  void scan_cell(std::int64_t cx, std::int64_t cy, const net::GeoPoint& from,
+                 const std::vector<SupernodeState>& fleet) const;
+
+  double cell_km_ = 150.0;
+  std::vector<net::GeoPoint> positions_;
+  // Dense CSR over the populated bounding box: nodes of cell (cx, cy) are
+  // cell_nodes_[cell_start_[c] .. cell_start_[c+1]) with
+  // c = (cy - min_cy_) * width_ + (cx - min_cx_).
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_nodes_;
+  std::int64_t min_cx_ = 0;
+  std::int64_t max_cx_ = 0;
+  std::int64_t min_cy_ = 0;
+  std::int64_t max_cy_ = 0;
+  std::int64_t width_ = 0;
+  /// Query scratch, reused across calls (single-threaded contract).
+  mutable std::vector<std::pair<double, std::size_t>> scratch_;
+};
+
+}  // namespace cloudfog::core

@@ -85,6 +85,7 @@ System::System(const Testbed& testbed, SystemConfig cfg, std::uint64_t seed)
       coplay_(testbed.players().size()),
       partition_(testbed.players().size(), 0) {
   cfg_.adapter.enabled = cfg_.strategies.rate_adaptation;
+  cloud_.set_candidate_mode(cfg_.discovery);
 
   total_servers_ = static_cast<int>(cloud_.datacenter_count()) *
                    testbed_.config().servers_per_datacenter;
@@ -97,6 +98,7 @@ System::System(const Testbed& testbed, SystemConfig cfg, std::uint64_t seed)
     PlayerState state;
     state.info = info;
     state.state_dc = cloud_.nearest_datacenter(info.endpoint);
+    state.nearest_dc_cache = static_cast<std::int64_t>(state.state_dc);
     players_.push_back(std::move(state));
   }
 

@@ -109,6 +109,11 @@ struct SystemConfig {
   /// the fixed pool of the §4.3.4 CloudFog/B arm.
   std::size_t fixed_deployment = 0;
   std::size_t cdn_server_count = 300;  ///< CDN arms
+
+  /// Candidate-discovery data structure (DESIGN.md §10). kLinear is the
+  /// reference scan kept for equality tests and the tracked bench
+  /// baseline; both produce identical candidate lists.
+  CandidateMode discovery = CandidateMode::kGrid;
 };
 
 class System {

@@ -18,6 +18,8 @@ namespace cloudfog::net {
 struct GeoPoint {
   double x_km = 0.0;
   double y_km = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
 };
 
 /// Euclidean distance in kilometres.

@@ -21,6 +21,8 @@ namespace cloudfog::net {
 struct Endpoint {
   GeoPoint position;
   double access_latency_ms = 5.0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
 };
 
 struct LatencyModelConfig {

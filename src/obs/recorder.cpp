@@ -4,6 +4,12 @@
 
 namespace cloudfog::obs {
 
+namespace {
+// Per-thread obs sink for deterministic parallel shards. The main thread
+// never installs one, so serial code paths are unaffected.
+thread_local ObsCapture* t_capture = nullptr;
+}  // namespace
+
 Recorder& Recorder::global() {
   static Recorder instance;
   return instance;
@@ -18,7 +24,33 @@ double Recorder::now() const {
 void Recorder::trace(EventKind kind, std::int64_t subject, std::int64_t object,
                      double value, std::string note) {
   if (!enabled_) return;
+  if (t_capture != nullptr) {
+    t_capture->ops_.push_back(
+        ObsCapture::Op{true, CounterId{}, 0, kind, subject, object, value, std::move(note)});
+    return;
+  }
   trace_.push(TraceEvent{now(), kind, subject, object, value, std::move(note)});
+}
+
+void Recorder::count(CounterId id, std::uint64_t n) {
+  if (t_capture != nullptr) {
+    t_capture->ops_.push_back(ObsCapture::Op{false, id, n, EventKind::kRunStart, -1, -1, 0.0, {}});
+    return;
+  }
+  registry_.add(id, n);
+}
+
+void Recorder::set_thread_capture(ObsCapture* cap) { t_capture = cap; }
+
+void Recorder::replay(ObsCapture& cap) {
+  for (ObsCapture::Op& op : cap.ops_) {
+    if (op.is_trace) {
+      trace(op.kind, op.subject, op.object, op.value, std::move(op.note));
+    } else {
+      registry_.add(op.counter, op.n);
+    }
+  }
+  cap.ops_.clear();
 }
 
 void Recorder::trace_at(double t_seconds, EventKind kind, std::int64_t subject,

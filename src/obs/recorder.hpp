@@ -48,6 +48,32 @@ struct RunSummary {
   std::vector<StatSummary> stats;
 };
 
+/// Buffered obs operations from one deterministic shard of a parallel
+/// section (DESIGN.md §10). Workers install a capture thread-locally via
+/// Recorder::set_thread_capture; counter adds and trace events land in the
+/// buffer instead of the shared registry/trace. The owner replays the
+/// buffers in shard order afterwards, reproducing the exact emission
+/// sequence (and therefore the exact trace bytes) of a serial run.
+class ObsCapture {
+ public:
+  void clear() { ops_.clear(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class Recorder;
+  struct Op {
+    bool is_trace = false;
+    CounterId counter{};
+    std::uint64_t n = 0;
+    EventKind kind = EventKind::kRunStart;
+    std::int64_t subject = -1;
+    std::int64_t object = -1;
+    double value = 0.0;
+    std::string note;
+  };
+  std::vector<Op> ops_;
+};
+
 class Recorder {
  public:
   static Recorder& global();
@@ -75,8 +101,21 @@ class Recorder {
 
   /// Like trace(), but with an explicit domain timestamp in seconds
   /// (event-driven overlay components own their own sim clock).
+  /// Not capture-aware: must not be called from parallel shards.
   void trace_at(double t_seconds, EventKind kind, std::int64_t subject = -1,
                 std::int64_t object = -1, double value = 0.0, std::string note = {});
+
+  /// Counter add that honours a thread-installed capture. Code reachable
+  /// from parallel shards must count through this instead of
+  /// registry().add() (which is main-thread only).
+  void count(CounterId id, std::uint64_t n = 1);
+
+  /// Installs `cap` as the calling thread's obs sink (nullptr uninstalls).
+  static void set_thread_capture(ObsCapture* cap);
+
+  /// Replays a capture's buffered operations into the live registry/trace
+  /// on the calling (main) thread, then clears it (keeping capacity).
+  void replay(ObsCapture& cap);
 
   /// Marks the start of a run: re-bases the trace clock past everything
   /// emitted so far and (when enabled) emits a kRunStart event.

@@ -1,0 +1,69 @@
+#include "util/shard_pool.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cloudfog::util {
+
+ShardPool::ShardPool(int workers) {
+  CLOUDFOG_REQUIRE(workers >= 1, "shard pool needs at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) threads_.emplace_back([this] { worker_loop(); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::run(int shards, const std::function<void(int)>& fn) {
+  if (shards <= 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  CLOUDFOG_REQUIRE(fn_ == nullptr, "ShardPool::run is not reentrant");
+  fn_ = &fn;
+  total_shards_ = shards;
+  next_shard_ = 0;
+  in_flight_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return next_shard_ >= total_shards_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    while (next_shard_ < total_shards_) {
+      const int shard = next_shard_++;
+      ++in_flight_;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn_)(shard);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      if (err && !error_) error_ = err;
+      --in_flight_;
+    }
+    if (in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace cloudfog::util

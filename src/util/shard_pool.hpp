@@ -1,0 +1,54 @@
+// Persistent worker pool for deterministic sharded loops (DESIGN.md §10).
+//
+// run(shards, fn) executes fn(0) … fn(shards-1) across the pool's worker
+// threads and blocks until every shard finished. Determinism is the
+// *caller's* contract: shards must touch disjoint mutable state (per-shard
+// accumulators / capture buffers) and the caller reduces them in shard
+// order afterwards — the pool itself guarantees only completion, never an
+// execution order. Workers are parked between calls, so a pool can be kept
+// alive across many subcycles without per-call thread spawn cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cloudfog::util {
+
+class ShardPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ShardPool(int workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(shard) for every shard in [0, shards); blocks until all
+  /// complete. If a shard threw, rethrows one of the exceptions after the
+  /// remaining shards have drained. Not reentrant.
+  void run(int shards, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;
+  int total_shards_ = 0;
+  int next_shard_ = 0;
+  int in_flight_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cloudfog::util

@@ -13,18 +13,33 @@ SegmentSpec spec_for(const game::QualityLevel& level, double duration_s) {
   return SegmentSpec{duration_s, level.bitrate_kbps};
 }
 
+struct RateObs {
+  obs::CounterId up{};
+  obs::CounterId down{};
+};
+
+const RateObs& rate_obs() {
+  static const RateObs handles = [] {
+    auto& reg = obs::Recorder::global().registry();
+    return RateObs{reg.counter("rate.switch_up"), reg.counter("rate.switch_down")};
+  }();
+  return handles;
+}
+
 void note_switch(game::GameId game, int new_level, bool up) {
   auto& rec = obs::Recorder::global();
   if (!rec.enabled()) return;
-  auto& reg = rec.registry();
-  static const obs::CounterId switches_up = reg.counter("rate.switch_up");
-  static const obs::CounterId switches_down = reg.counter("rate.switch_down");
-  reg.add(up ? switches_up : switches_down);
+  const RateObs& handles = rate_obs();
+  // count()/trace() honour a thread-installed ObsCapture — note_switch is
+  // the one emission site reachable from the QoS engine's parallel pass.
+  rec.count(up ? handles.up : handles.down);
   rec.trace(obs::EventKind::kRateSwitch, static_cast<std::int64_t>(game), new_level,
             up ? 1.0 : -1.0);
 }
 
 }  // namespace
+
+void warm_rate_adapter_obs() { rate_obs(); }
 
 RateAdapter::RateAdapter(const game::GameCatalog& catalog, game::GameId game,
                          RateAdapterConfig cfg, util::Rng rng)

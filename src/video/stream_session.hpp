@@ -52,7 +52,17 @@ class StreamSession {
   int current_quality_level() const { return adapter_.current_level().level; }
 
   /// Processes one observation interval; updates adapter + continuity.
+  /// Exactly apply(path, continuity_for(path)).
   QosSample observe(const PathObservation& path);
+
+  /// The interval's packet continuity — a pure function of the path, the
+  /// game's latency requirement and the current bitrate (no state update).
+  /// Split out so the QoS engine can memoize it per unchanged path.
+  double continuity_for(const PathObservation& path) const;
+
+  /// Applies an observation whose continuity was already computed (or
+  /// memoized); updates the meter and steps the adapter.
+  QosSample apply(const PathObservation& path, double continuity);
 
   /// Session-lifetime continuity (packet-weighted).
   double session_continuity() const { return meter_.continuity(); }

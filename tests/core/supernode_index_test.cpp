@@ -1,0 +1,140 @@
+// Grid-vs-linear candidate discovery equality (DESIGN.md §10): the
+// geo-grid index must return element-for-element what the reference
+// linear scan returns — same indices, same order — across randomized
+// fleets, capacity/deployment churn and fleet swaps, because the two
+// paths are interchangeable behind Cloud::candidate_supernodes and the
+// determinism gate compares runs that may differ only in mode.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "core/testbed.hpp"
+#include "net/ip_locator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cloudfog;
+
+class SupernodeIndexProperty : public ::testing::Test {
+ protected:
+  SupernodeIndexProperty() : testbed_(make_config(), 4242) {}
+
+  static core::TestbedConfig make_config() {
+    auto cfg = core::TestbedConfig::peersim(2000);
+    cfg.supernode_capable_fraction = 1.0;  // allow fleets up to 2000
+    return cfg;
+  }
+
+  core::Cloud make_cloud() const {
+    return core::Cloud(testbed_.make_datacenters(), testbed_.latency(), net::IpLocator{});
+  }
+
+  /// Registers `fleet` and applies one round of random churn.
+  void register_and_churn(core::Cloud& cloud, std::vector<core::SupernodeState>& fleet,
+                          util::Rng& rng) const {
+    for (auto& sn : fleet) cloud.register_supernode(sn, rng);
+    churn(fleet, rng);
+  }
+
+  static void churn(std::vector<core::SupernodeState>& fleet, util::Rng& rng) {
+    for (auto& sn : fleet) {
+      sn.deployed = rng.chance(0.7);
+      sn.failed = rng.chance(0.1);
+      sn.served = static_cast<int>(rng.uniform_int(0, sn.capacity));
+    }
+  }
+
+  /// Both modes over the same query; EXPECT element-for-element equality.
+  void expect_modes_agree(core::Cloud& cloud, const std::vector<core::SupernodeState>& fleet,
+                          const net::Endpoint& player, std::size_t count) {
+    cloud.set_candidate_mode(core::CandidateMode::kGrid);
+    cloud.candidate_supernodes_into(player, fleet, count, grid_);
+    cloud.set_candidate_mode(core::CandidateMode::kLinear);
+    cloud.candidate_supernodes_into(player, fleet, count, linear_);
+    EXPECT_EQ(grid_, linear_);
+  }
+
+  core::Testbed testbed_;
+  std::vector<std::size_t> grid_;
+  std::vector<std::size_t> linear_;
+};
+
+TEST_F(SupernodeIndexProperty, MatchesLinearAcrossRandomFleetsAndChurn) {
+  util::Rng rng(99);
+  const std::size_t fleet_sizes[] = {1, 7, 60, 600, 2000};
+  for (const std::size_t size : fleet_sizes) {
+    core::Cloud cloud = make_cloud();
+    auto fleet = testbed_.make_supernode_fleet(size);
+    util::Rng reg_rng(rng.next_u64());
+    register_and_churn(cloud, fleet, reg_rng);
+    for (int round = 0; round < 4; ++round) {
+      for (int q = 0; q < 32; ++q) {
+        const auto& player = testbed_.players()[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(testbed_.players().size()) - 1))];
+        const std::size_t count = static_cast<std::size_t>(rng.uniform_int(1, 13));
+        expect_modes_agree(cloud, fleet, player.endpoint, count);
+      }
+      // Capacity / deployment / failure churn needs no index rebuild:
+      // accepting() is read at query time.
+      churn(fleet, rng);
+    }
+  }
+}
+
+TEST_F(SupernodeIndexProperty, EmptyFleetReturnsNothing) {
+  core::Cloud cloud = make_cloud();
+  std::vector<core::SupernodeState> fleet;
+  expect_modes_agree(cloud, fleet, testbed_.players()[0].endpoint, 8);
+  EXPECT_TRUE(grid_.empty());
+}
+
+TEST_F(SupernodeIndexProperty, FullySaturatedFleetReturnsNothing) {
+  core::Cloud cloud = make_cloud();
+  auto fleet = testbed_.make_supernode_fleet(300);
+  util::Rng rng(5);
+  for (auto& sn : fleet) cloud.register_supernode(sn, rng);
+  for (auto& sn : fleet) {
+    sn.deployed = true;
+    sn.served = sn.capacity;  // no spare seats anywhere
+  }
+  expect_modes_agree(cloud, fleet, testbed_.players()[1].endpoint, 8);
+  EXPECT_TRUE(grid_.empty());
+}
+
+TEST_F(SupernodeIndexProperty, CountBeyondAcceptingReturnsAllAccepting) {
+  core::Cloud cloud = make_cloud();
+  auto fleet = testbed_.make_supernode_fleet(50);
+  util::Rng rng(6);
+  for (auto& sn : fleet) cloud.register_supernode(sn, rng);
+  std::size_t accepting = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].deployed = (i % 2) == 0;  // half the fleet accepts
+    if (fleet[i].accepting()) ++accepting;
+  }
+  expect_modes_agree(cloud, fleet, testbed_.players()[2].endpoint, fleet.size() * 3);
+  EXPECT_EQ(grid_.size(), accepting);
+}
+
+TEST_F(SupernodeIndexProperty, RebuildsWhenFleetIdentityChanges) {
+  core::Cloud cloud = make_cloud();
+  util::Rng rng(12);
+  // Alternate between two different fleets behind the same cloud — the
+  // index must track whichever vector was queried last.
+  auto fleet_a = testbed_.make_supernode_fleet(200);
+  register_and_churn(cloud, fleet_a, rng);
+  auto fleet_b = testbed_.make_supernode_fleet(120);
+  register_and_churn(cloud, fleet_b, rng);
+  for (int round = 0; round < 3; ++round) {
+    expect_modes_agree(cloud, fleet_a, testbed_.players()[round].endpoint, 8);
+    expect_modes_agree(cloud, fleet_b, testbed_.players()[round + 8].endpoint, 8);
+  }
+  // Unregistering bumps the registry epoch; queries must still agree.
+  cloud.unregister_supernode(fleet_b.back());
+  fleet_b.pop_back();
+  expect_modes_agree(cloud, fleet_b, testbed_.players()[30].endpoint, 8);
+}
+
+}  // namespace
