@@ -6,13 +6,26 @@
 //   --quick              minimal scale for smoke-testing;
 //   --csv                emit CSV instead of aligned tables (for plotting);
 //   --seed <n>           override the experiment seed;
-//   --trace <file>       stream the structured event trace as JSONL;
+//   --trace <file>       stream the structured event trace;
+//   --trace-format <f>   trace encoding: jsonl (default) or binary (the
+//                        fixed-width format tools/trace/tracecat decodes);
+//   --trace-sample <n>   sampled retention: keep every nth non-structural
+//                        event (decided by a deterministic counter, so the
+//                        sampled trace is identical at any thread count);
+//   --trace-agg          aggregated retention: per-subcycle, per-kind
+//                        {count, value-sum} summary events only;
 //   --report-json <file> write the run report (metrics + counters +
 //                        phase profile) on exit;
+//   --runstore <dir>     append this run's metric summaries to the
+//                        columnar run-store (obs::RunStore) on exit;
+//   --run-id <s>         run-store manifest fields (defaults: "local",
+//   --git-sha <s>        "unknown", "unknown");
+//   --config-hash <s>
 //   --obs-off            disable the observability recorder entirely;
 //   --threads <n>        QoS worker threads (sets CLOUDFOG_THREADS before
 //                        any System is built; results are byte-identical
 //                        at every thread count).
+// Flags taking a value accept both "--flag value" and "--flag=value".
 // Default is a reduced-but-faithful scale (6 cycles, 3 warm-up).
 #pragma once
 
@@ -20,10 +33,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/obs.hpp"
+#include "obs/run_store.hpp"
 
 namespace cloudfog::bench {
 
@@ -32,9 +48,21 @@ inline bool& csv_mode() {
   return mode;
 }
 
-/// Owns the trace sink and writes the run report when the process exits.
-/// Instantiated only after Recorder::global() (a Meyer's singleton), so its
-/// destructor runs before the recorder is torn down.
+/// Everything scale_from_args parses beyond the experiment scale itself.
+struct ObsOptions {
+  std::string trace_path;
+  std::string trace_format = "jsonl";  ///< "jsonl" or "binary"
+  std::uint64_t trace_sample = 0;      ///< >0 selects sampled retention
+  bool trace_agg = false;              ///< aggregated retention
+  std::string report_path;
+  std::string runstore_dir;
+  obs::RunKey run_key{"local", "unknown", "unknown"};
+};
+
+/// Owns the trace sink and writes the run report (and run-store row) when
+/// the process exits. Instantiated only after Recorder::global() (a
+/// Meyer's singleton), so its destructor runs before the recorder is torn
+/// down.
 class ObsSession {
  public:
   static ObsSession& instance() {
@@ -42,16 +70,28 @@ class ObsSession {
     return session;
   }
 
-  void configure(std::string trace_path, std::string report_path) {
-    trace_path_ = std::move(trace_path);
-    report_path_ = std::move(report_path);
-    if (!trace_path_.empty()) {
-      trace_out_.open(trace_path_);
+  void configure(ObsOptions opts) {
+    opts_ = std::move(opts);
+    auto& buf = obs::Recorder::global().trace_buffer();
+    if (opts_.trace_sample > 0) {
+      buf.set_retention(obs::TraceRetention::kSampled, opts_.trace_sample);
+    } else if (opts_.trace_agg) {
+      buf.set_retention(obs::TraceRetention::kAggregated);
+    }
+    if (!opts_.trace_path.empty()) {
+      const bool binary = opts_.trace_format == "binary";
+      trace_out_.open(opts_.trace_path,
+                      binary ? std::ios::binary | std::ios::out : std::ios::out);
       if (trace_out_) {
-        obs::Recorder::global().trace_buffer().set_sink(&trace_out_);
+        if (binary) {
+          binary_sink_ = std::make_unique<obs::BinaryTraceSink>(trace_out_);
+          buf.set_event_sink(binary_sink_.get());
+        } else {
+          buf.set_sink(&trace_out_);
+        }
       } else {
-        std::cerr << "warning: cannot open trace file " << trace_path_ << '\n';
-        trace_path_.clear();
+        std::cerr << "warning: cannot open trace file " << opts_.trace_path << '\n';
+        opts_.trace_path.clear();
       }
     }
   }
@@ -62,37 +102,79 @@ class ObsSession {
     if (finalized_) return;
     finalized_ = true;
     auto& rec = obs::Recorder::global();
-    if (!trace_path_.empty()) {
-      rec.trace_buffer().flush();
-      rec.trace_buffer().set_sink(nullptr);
+    auto& buf = rec.trace_buffer();
+    if (!opts_.trace_path.empty()) {
+      buf.close_aggregation_window();
+      buf.flush();
+      buf.set_event_sink(nullptr);
+      buf.set_sink(nullptr);
+      binary_sink_.reset();
       trace_out_.close();
     }
-    if (!report_path_.empty()) {
-      std::ofstream os(report_path_);
+    if (!opts_.report_path.empty()) {
+      std::ofstream os(opts_.report_path);
       if (os) {
         obs::write_report_json(os, rec);
       } else {
-        std::cerr << "warning: cannot open report file " << report_path_ << '\n';
+        std::cerr << "warning: cannot open report file " << opts_.report_path << '\n';
       }
     }
+    if (!opts_.runstore_dir.empty()) append_runstore(rec);
   }
 
  private:
   ObsSession() = default;
 
-  std::string trace_path_;
-  std::string report_path_;
+  /// One run-store row per process: per-run metric means (plus p95 where
+  /// recorded) and the trace accounting, one column per metric so
+  /// scripts/bench_trend.py can trend each independently.
+  void append_runstore(const obs::Recorder& rec) {
+    obs::RunStore store(opts_.runstore_dir);
+    const std::uint64_t row = store.begin_row(opts_.run_key);
+    for (const obs::RunSummary& run : rec.runs()) {
+      for (const obs::StatSummary& s : run.stats) {
+        store.append(row, run.label + "." + s.name + ".mean", s.mean);
+        if (s.has_percentiles) {
+          store.append(row, run.label + "." + s.name + ".p95", s.p95);
+        }
+      }
+    }
+    const auto& buf = rec.trace_buffer();
+    store.append(row, "trace.pushed", static_cast<double>(buf.total_pushed()));
+    store.append(row, "trace.dropped", static_cast<double>(buf.dropped()));
+  }
+
+  ObsOptions opts_;
   std::ofstream trace_out_;
+  std::unique_ptr<obs::BinaryTraceSink> binary_sink_;
   bool finalized_ = false;
 };
+
+/// Matches "--flag value" and "--flag=value"; on a match, `*value` points
+/// at the value and `*i` is advanced past any consumed extra argv slot.
+inline bool flag_value(int argc, char** argv, int* i, const char* flag,
+                       const char** value) {
+  const char* arg = argv[*i];
+  const std::size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    *value = arg + flag_len + 1;
+    return true;
+  }
+  if (arg[flag_len] == '\0' && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
 
 inline core::ExperimentScale scale_from_args(int argc, char** argv,
                                              core::ExperimentScale fallback = {}) {
   core::ExperimentScale scale = fallback;
   bool obs_off = false;
-  std::string trace_path;
-  std::string report_path;
+  ObsOptions opts;
   for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
     if (std::strcmp(argv[i], "--paper") == 0) {
       const auto seed = scale.seed;
       scale = core::ExperimentScale::paper();
@@ -103,25 +185,50 @@ inline core::ExperimentScale scale_from_args(int argc, char** argv,
       scale.seed = seed;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_mode() = true;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      scale.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
-      report_path = argv[++i];
+    } else if (flag_value(argc, argv, &i, "--seed", &value)) {
+      scale.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag_value(argc, argv, &i, "--trace-format", &value)) {
+      opts.trace_format = value;
+      if (opts.trace_format != "jsonl" && opts.trace_format != "binary") {
+        std::cerr << "error: --trace-format must be jsonl or binary\n";
+        std::exit(2);
+      }
+    } else if (flag_value(argc, argv, &i, "--trace-sample", &value)) {
+      opts.trace_sample = std::strtoull(value, nullptr, 10);
+      if (opts.trace_sample == 0) {
+        std::cerr << "error: --trace-sample needs a positive interval\n";
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--trace-agg") == 0) {
+      opts.trace_agg = true;
+    } else if (flag_value(argc, argv, &i, "--trace", &value)) {
+      opts.trace_path = value;
+    } else if (flag_value(argc, argv, &i, "--report-json", &value)) {
+      opts.report_path = value;
+    } else if (flag_value(argc, argv, &i, "--runstore", &value)) {
+      opts.runstore_dir = value;
+    } else if (flag_value(argc, argv, &i, "--run-id", &value)) {
+      opts.run_key.run_id = value;
+    } else if (flag_value(argc, argv, &i, "--git-sha", &value)) {
+      opts.run_key.git_sha = value;
+    } else if (flag_value(argc, argv, &i, "--config-hash", &value)) {
+      opts.run_key.config_hash = value;
     } else if (std::strcmp(argv[i], "--obs-off") == 0) {
       obs_off = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+    } else if (flag_value(argc, argv, &i, "--threads", &value)) {
       // The engine reads the variable at construction; every System in
       // this process picks it up.
-      setenv("CLOUDFOG_THREADS", argv[++i], 1);
+      setenv("CLOUDFOG_THREADS", value, 1);
     }
   }
+  if (opts.trace_sample > 0 && opts.trace_agg) {
+    std::cerr << "error: --trace-sample and --trace-agg are mutually exclusive\n";
+    std::exit(2);
+  }
   // Touch the recorder singleton before the session singleton so the
-  // session's destructor (flush + report) runs first at exit.
+  // session's destructor (flush + report + run-store) runs first at exit.
   obs::Recorder::global().set_enabled(!obs_off);
-  ObsSession::instance().configure(obs_off ? std::string{} : trace_path,
-                                   obs_off ? std::string{} : report_path);
+  ObsSession::instance().configure(obs_off ? ObsOptions{} : opts);
   return scale;
 }
 

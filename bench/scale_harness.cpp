@@ -18,19 +18,29 @@
 // document (schema cloudfog.bench_scale/1) merged into BENCH_PR5.json by
 // scripts/bench.sh.
 //
+// A third section measures trace-sink encoding cost (JSONL vs the binary
+// format) per event and per byte, against a counting null stream, so the
+// "binary tracing is >=3x cheaper" claim is tracked like every other
+// headline number.
+//
 // Usage: bench_scale [--quick] [--threads <n>] [--json <path>]
+//                    [--runstore <dir> --run-id <s> --git-sha <s>
+//                     --config-hash <s>]
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
 #include "core/testbed.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/obs.hpp"
+#include "obs/run_store.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -139,12 +149,122 @@ SubcyclePoint bench_subcycle(std::size_t players, std::size_t fleet_size, int th
   return point;
 }
 
+/// Discards everything, counting bytes — isolates encoding cost from I/O.
+class CountingBuf final : public std::streambuf {
+ public:
+  std::uint64_t bytes = 0;
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) ++bytes;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    bytes += static_cast<std::uint64_t>(n);
+    return n;
+  }
+};
+
+struct TraceOverheadPoint {
+  std::uint64_t events = 0;
+  double jsonl_ns_per_event = 0.0;
+  double binary_ns_per_event = 0.0;
+  double jsonl_bytes_per_event = 0.0;
+  double binary_bytes_per_event = 0.0;
+  double time_ratio = 0.0;   ///< jsonl / binary (higher = binary cheaper)
+  double bytes_ratio = 0.0;
+};
+
+/// A representative event stream: the non-structural kinds that dominate a
+/// run, interned notes (some with integer arguments), a kSubcycle boundary
+/// every 200 events, RNG-jittered payloads so double formatting sees
+/// realistic digit counts.
+std::vector<obs::TraceEvent> make_trace_workload(std::uint64_t count) {
+  const obs::NoteId notes[] = {
+      obs::intern_note("within_lmax"), obs::intern_note("over_lmax"),
+      obs::intern_note("granted"),     obs::intern_note("fog"),
+      obs::intern_note("wanted="),     obs::NoteId{}};
+  const obs::EventKind kinds[] = {
+      obs::EventKind::kProbeSent,   obs::EventKind::kProbeAnswered,
+      obs::EventKind::kPlayerJoin,  obs::EventKind::kCapacityClaim,
+      obs::EventKind::kMigration,   obs::EventKind::kRateSwitch};
+  util::Rng rng(42);
+  std::vector<obs::TraceEvent> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    obs::TraceEvent e;
+    e.t = static_cast<double>(i) * 0.000183 + rng.uniform(0.0, 1e-6);
+    if (i % 200 == 199) {
+      e.kind = obs::EventKind::kSubcycle;
+      e.subject = static_cast<std::int64_t>(i / 9600);
+      e.object = static_cast<std::int64_t>((i / 200) % 48);
+      e.value = static_cast<double>(1000 + i % 64);
+    } else {
+      e.kind = kinds[i % std::size(kinds)];
+      e.subject = rng.uniform_int(0, 99999);
+      e.object = rng.uniform_int(0, 9999);
+      e.value = rng.uniform(0.0, 250.0);
+      const obs::NoteId note = notes[i % std::size(notes)];
+      if (note.index == notes[4].index) {
+        e.note = obs::Note{note, rng.uniform_int(0, 63)};
+      } else {
+        e.note = note;
+      }
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+TraceOverheadPoint bench_trace_overhead(std::uint64_t count, int repeats) {
+  const auto events = make_trace_workload(count);
+  TraceOverheadPoint point;
+  point.events = count;
+  for (const bool binary : {false, true}) {
+    double best_ms = 0.0;
+    std::uint64_t bytes = 0;
+    for (int r = 0; r < repeats; ++r) {
+      CountingBuf counter;
+      std::ostream os(&counter);
+      const auto t0 = std::chrono::steady_clock::now();
+      if (binary) {
+        obs::BinaryTraceSink sink(os);
+        for (const auto& e : events) sink.write(e);
+        sink.flush();
+      } else {
+        obs::JsonlTraceSink sink(os);
+        for (const auto& e : events) sink.write(e);
+        sink.flush();
+      }
+      const double ms = elapsed_ms(t0);
+      if (r == 0 || ms < best_ms) best_ms = ms;
+      bytes = counter.bytes;
+    }
+    const double per_event_ns = best_ms * 1e6 / static_cast<double>(count);
+    const double per_event_bytes =
+        static_cast<double>(bytes) / static_cast<double>(count);
+    if (binary) {
+      point.binary_ns_per_event = per_event_ns;
+      point.binary_bytes_per_event = per_event_bytes;
+    } else {
+      point.jsonl_ns_per_event = per_event_ns;
+      point.jsonl_bytes_per_event = per_event_bytes;
+    }
+  }
+  point.time_ratio = point.jsonl_ns_per_event / std::max(1e-9, point.binary_ns_per_event);
+  point.bytes_ratio =
+      point.jsonl_bytes_per_event / std::max(1e-9, point.binary_bytes_per_event);
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   int threads = 4;
   std::string json_path;
+  std::string runstore_dir;
+  obs::RunKey run_key{"local", "unknown", "unknown"};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -152,6 +272,14 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--runstore") == 0 && i + 1 < argc) {
+      runstore_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--run-id") == 0 && i + 1 < argc) {
+      run_key.run_id = argv[++i];
+    } else if (std::strcmp(argv[i], "--git-sha") == 0 && i + 1 < argc) {
+      run_key.git_sha = argv[++i];
+    } else if (std::strcmp(argv[i], "--config-hash") == 0 && i + 1 < argc) {
+      run_key.config_hash = argv[++i];
     }
   }
   // Timing only: the recorder would charge every trace append to the
@@ -180,6 +308,16 @@ int main(int argc, char** argv) {
               << " opt" << threads << "t_ms=" << p.optimized_nt_ms
               << " speedup_1t=" << p.speedup_1t << " speedup_nt=" << p.speedup_nt << '\n';
   }
+
+  const TraceOverheadPoint trace_overhead =
+      bench_trace_overhead(quick ? 50000 : 500000, quick ? 2 : 5);
+  std::cerr << "trace_overhead events=" << trace_overhead.events
+            << " jsonl_ns=" << trace_overhead.jsonl_ns_per_event
+            << " binary_ns=" << trace_overhead.binary_ns_per_event
+            << " jsonl_bytes=" << trace_overhead.jsonl_bytes_per_event
+            << " binary_bytes=" << trace_overhead.binary_bytes_per_event
+            << " time_ratio=" << trace_overhead.time_ratio
+            << " bytes_ratio=" << trace_overhead.bytes_ratio << '\n';
 
   std::ostream* os = &std::cout;
   std::ofstream file;
@@ -211,6 +349,37 @@ int main(int argc, char** argv) {
         << ", \"speedup_1t\": " << p.speedup_1t << ", \"speedup_nt\": " << p.speedup_nt << "}"
         << (i + 1 < subcycle.size() ? "," : "") << '\n';
   }
-  *os << "  ]\n}\n";
+  *os << "  ],\n  \"trace_overhead\": {\n";
+  *os << "    \"events\": " << trace_overhead.events << ",\n";
+  *os << "    \"jsonl_ns_per_event\": " << trace_overhead.jsonl_ns_per_event << ",\n";
+  *os << "    \"binary_ns_per_event\": " << trace_overhead.binary_ns_per_event << ",\n";
+  *os << "    \"jsonl_bytes_per_event\": " << trace_overhead.jsonl_bytes_per_event << ",\n";
+  *os << "    \"binary_bytes_per_event\": " << trace_overhead.binary_bytes_per_event << ",\n";
+  *os << "    \"time_ratio\": " << trace_overhead.time_ratio << ",\n";
+  *os << "    \"bytes_ratio\": " << trace_overhead.bytes_ratio << "\n";
+  *os << "  }\n}\n";
+
+  if (!runstore_dir.empty()) {
+    obs::RunStore store(runstore_dir);
+    const std::uint64_t row = store.begin_row(run_key);
+    for (const auto& p : discovery) {
+      const std::string prefix = "scale.discovery.fleet" + std::to_string(p.fleet);
+      store.append(row, prefix + ".linear_us", p.linear_us);
+      store.append(row, prefix + ".grid_us", p.grid_us);
+      store.append(row, prefix + ".speedup", p.speedup);
+    }
+    for (const auto& p : subcycle) {
+      const std::string prefix = "scale.subcycle.fleet" + std::to_string(p.fleet);
+      store.append(row, prefix + ".baseline_ms", p.baseline_ms);
+      store.append(row, prefix + ".optimized_1t_ms", p.optimized_1t_ms);
+      store.append(row, prefix + ".optimized_nt_ms", p.optimized_nt_ms);
+      store.append(row, prefix + ".speedup_nt", p.speedup_nt);
+    }
+    store.append(row, "scale.trace.jsonl_ns_per_event", trace_overhead.jsonl_ns_per_event);
+    store.append(row, "scale.trace.binary_ns_per_event", trace_overhead.binary_ns_per_event);
+    store.append(row, "scale.trace.time_ratio", trace_overhead.time_ratio);
+    store.append(row, "scale.trace.bytes_ratio", trace_overhead.bytes_ratio);
+    std::cerr << "runstore: appended row " << row << " to " << runstore_dir << '\n';
+  }
   return 0;
 }

@@ -3,24 +3,40 @@
 #
 # Runs the microbenchmark suite (google-benchmark) and the scale harness
 # (bench_scale: candidate discovery linear-vs-grid, end-to-end subcycles
-# reference-vs-optimised) and merges both into one tracked JSON document.
-# Baselines come from the same binary's reference modes
-# (CandidateMode::kLinear, QosEngineConfig::memoize = false, serial), so
-# every report carries its own before/after pair.
+# reference-vs-optimised, trace-sink encoding JSONL-vs-binary) and merges
+# both into one tracked JSON document. Baselines come from the same
+# binary's reference modes (CandidateMode::kLinear, QosEngineConfig::
+# memoize = false, serial, JsonlTraceSink), so every report carries its
+# own before/after pair.
 #
-#   scripts/bench.sh                 full run -> BENCH_PR5.json
+# Tracked outputs (BENCH_*.json and the data/runstore history) are only
+# written from release-grade builds: comparing a Debug number against a
+# Release history is noise. --allow-debug overrides the refusal (the
+# report then records allow_debug=true so readers can discount it).
+#
+#   scripts/bench.sh                 full run -> BENCH_PR6.json
 #   scripts/bench.sh --quick         short run (CI smoke)
 #   scripts/bench.sh --out <path>    override the output path
+#   scripts/bench.sh --runstore <dir>  override the run-store directory
+#                                      (default data/runstore)
+#   scripts/bench.sh --no-runstore   skip the run-store append
+#   scripts/bench.sh --allow-debug   permit tracked writes from a
+#                                      non-release build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 QUICK=0
-OUT=BENCH_PR5.json
+OUT=BENCH_PR6.json
+RUNSTORE=data/runstore
+ALLOW_DEBUG=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK=1 ;;
     --out) shift; OUT="$1" ;;
+    --runstore) shift; RUNSTORE="$1" ;;
+    --no-runstore) RUNSTORE="" ;;
+    --allow-debug) ALLOW_DEBUG=1 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -29,6 +45,33 @@ done
 echo "== build (RelWithDebInfo) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_micro bench_scale
+
+# Tracked-write guard: the numbers are only comparable across history when
+# they come from an optimised build of both this tree and libbenchmark.
+cache_var() { sed -n "s/^$1:[^=]*=//p" build/CMakeCache.txt | head -n 1; }
+# An empty cached CMAKE_BUILD_TYPE means the project default applied.
+BUILD_TYPE=$(cache_var CMAKE_BUILD_TYPE)
+BUILD_TYPE=${BUILD_TYPE:-RelWithDebInfo}
+COMPILER=$(cache_var CMAKE_CXX_COMPILER)
+# libbenchmark reports its own build flavour in the run context; probe it
+# with one minimal-time benchmark before any tracked run happens.
+BENCH_LIB_BUILD=$(./build/bench/bench_micro \
+    --benchmark_filter='BM_EventQueueScheduleAndPop/1000$' \
+    --benchmark_min_time=0.001 --benchmark_format=json 2>/dev/null \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["context"]["library_build_type"])' \
+  || echo unknown)
+RELEASE_GRADE=1
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *) RELEASE_GRADE=0 ;;
+esac
+if [ "$BENCH_LIB_BUILD" != "release" ]; then RELEASE_GRADE=0; fi
+if [ "$RELEASE_GRADE" -eq 0 ] && [ "$ALLOW_DEBUG" -eq 0 ]; then
+  echo "error: refusing to write tracked benchmark output from a non-release build" >&2
+  echo "       (CMAKE_BUILD_TYPE=$BUILD_TYPE, libbenchmark=$BENCH_LIB_BUILD)." >&2
+  echo "       Re-run with --allow-debug to override." >&2
+  exit 3
+fi
 
 WORK_DIR=$(mktemp -d)
 trap 'rm -rf "$WORK_DIR"' EXIT
@@ -44,21 +87,40 @@ fi
 ./build/bench/bench_micro "${MICRO_ARGS[@]}" >"$WORK_DIR/micro.json"
 
 echo "== scale harness (bench_scale) =="
+GIT_SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+RUN_ID="bench-$(date -u +%Y%m%dT%H%M%SZ)-$$"
+CONFIG_HASH=$(printf 'quick=%s threads=4 build=%s' "$QUICK" "$BUILD_TYPE" \
+  | sha256sum | cut -c1-12)
 SCALE_ARGS=(--json "$WORK_DIR/scale.json" --threads 4)
 if [ "$QUICK" -eq 1 ]; then SCALE_ARGS+=(--quick); fi
+if [ -n "$RUNSTORE" ]; then
+  SCALE_ARGS+=(--runstore "$RUNSTORE" --run-id "$RUN_ID"
+               --git-sha "$GIT_SHA" --config-hash "$CONFIG_HASH")
+fi
 ./build/bench/bench_scale "${SCALE_ARGS[@]}"
 
 echo "== merge -> $OUT =="
-python3 - "$WORK_DIR/micro.json" "$WORK_DIR/scale.json" "$OUT" "$QUICK" <<'EOF'
+python3 - "$WORK_DIR/micro.json" "$WORK_DIR/scale.json" "$OUT" "$QUICK" \
+  "$BUILD_TYPE" "$COMPILER" "$ALLOW_DEBUG" "$GIT_SHA" "$RUN_ID" "$CONFIG_HASH" <<'EOF'
 import json, sys
-micro_path, scale_path, out_path, quick = sys.argv[1:5]
+(micro_path, scale_path, out_path, quick,
+ build_type, compiler, allow_debug, git_sha, run_id, config_hash) = sys.argv[1:11]
 micro = json.load(open(micro_path))
 scale = json.load(open(scale_path))
+context = {k: micro.get("context", {}).get(k)
+           for k in ("num_cpus", "mhz_per_cpu", "library_build_type")}
+context.update({
+    "cmake_build_type": build_type,
+    "compiler": compiler,
+    "allow_debug": allow_debug == "1",
+    "git_sha": git_sha,
+    "run_id": run_id,
+    "config_hash": config_hash,
+})
 doc = {
     "schema": "cloudfog.bench/1",
     "quick": quick == "1",
-    "context": {k: micro.get("context", {}).get(k)
-                for k in ("num_cpus", "mhz_per_cpu", "library_build_type")},
+    "context": context,
     "scale": scale,
     "micro": [
         {"name": b["name"], "real_time_ns": b["real_time"],
@@ -70,10 +132,13 @@ doc = {
 }
 disc = {p["fleet"]: p for p in scale["candidate_discovery"]}
 sub = scale["subcycle"]
+trace = scale["trace_overhead"]
 doc["headline"] = {
     "discovery_speedup_10k_fleet": disc.get(10000, disc[max(disc)])["speedup"],
     "subcycle_speedup_scaleout_nt": sub[-1]["speedup_nt"],
     "subcycle_speedup_scaleout_1t": sub[-1]["speedup_1t"],
+    "trace_binary_time_ratio": trace["time_ratio"],
+    "trace_binary_bytes_ratio": trace["bytes_ratio"],
 }
 json.dump(doc, open(out_path, "w"), indent=1)
 print(json.dumps(doc["headline"], indent=1))
@@ -82,5 +147,8 @@ if quick != "1":
         "candidate discovery speedup below the tracked 5x floor"
     assert doc["headline"]["subcycle_speedup_scaleout_nt"] >= 2.0, \
         "end-to-end subcycle speedup below the tracked 2x floor"
+    assert max(doc["headline"]["trace_binary_time_ratio"],
+               doc["headline"]["trace_binary_bytes_ratio"]) >= 3.0, \
+        "binary trace sink below the tracked 3x per-event advantage"
 EOF
 echo "bench report written to $OUT"

@@ -9,14 +9,21 @@
 #      (wall-clock phase timings are the only sanctioned difference —
 #      tools/determinism/canonicalize_report.py). Both workloads also run
 #      with --threads 4 and must match the serial traces byte-for-byte.
-#   5. bench smoke: observability export schema checks
-#   6. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
+#   5. binary trace gate: both workloads re-run with --trace-format=binary
+#      (serial and --threads 4); tools/trace/tracecat must reproduce the
+#      JSONL byte-for-byte
+#   6. run-store gate: two seeded fig7 runs append to a scratch run-store;
+#      tools/runstore_query and the scripts/bench_trend.py reader must
+#      agree, and the identical runs must have appended identical values
+#   7. bench smoke: observability export schema checks, including zero
+#      trace drops while a sink is attached
+#   8. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
 #      ctest with CLOUDFOG_THREADS=2 (races in the parallel QoS pass fail
 #      here), a TSan 4-thread fig7 cross-checked against the plain trace,
 #      and the chaos smoke re-run under ASan
 #
 #   scripts/check.sh            everything
-#   scripts/check.sh --quick    stages 1–5 only (no sanitizer builds)
+#   scripts/check.sh --quick    stages 1–7 only (no sanitizer builds)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -100,6 +107,71 @@ cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_mt.jsonl" || {
   echo "determinism gate FAILED: chaos trace differs between --threads 1 and 4" >&2; exit 1; }
 echo "chaos: seeded replay byte-identical (including --threads 4), canonical report identical"
 
+echo "== binary trace gate: tracecat round-trip vs JSONL =="
+# The binary format is a pure transport: converting a binary trace back
+# with tools/trace/tracecat must reproduce the JSONL byte-for-byte, for
+# both workloads, serial and 4-thread.
+./build/bench/bench_fig7_latency --quick --trace-format=binary \
+  --trace "$SMOKE_DIR/fig7_trace.bin" >/dev/null
+./build/tools/tracecat "$SMOKE_DIR/fig7_trace.bin" -o "$SMOKE_DIR/fig7_trace_conv.jsonl"
+cmp -s "$SMOKE_DIR/fig7_trace_a.jsonl" "$SMOKE_DIR/fig7_trace_conv.jsonl" || {
+  echo "binary trace gate FAILED: fig7 tracecat output differs from JSONL" >&2; exit 1; }
+./build/bench/bench_fig7_latency --quick --threads 4 --trace-format=binary \
+  --trace "$SMOKE_DIR/fig7_trace_mt.bin" >/dev/null
+./build/tools/tracecat "$SMOKE_DIR/fig7_trace_mt.bin" -o "$SMOKE_DIR/fig7_trace_mt_conv.jsonl"
+cmp -s "$SMOKE_DIR/fig7_trace_a.jsonl" "$SMOKE_DIR/fig7_trace_mt_conv.jsonl" || {
+  echo "binary trace gate FAILED: fig7 4-thread binary trace differs" >&2; exit 1; }
+CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick --trace-format=binary \
+  --trace "$SMOKE_DIR/chaos_trace.bin" >/dev/null
+./build/tools/tracecat "$SMOKE_DIR/chaos_trace.bin" -o "$SMOKE_DIR/chaos_trace_conv.jsonl"
+cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_conv.jsonl" || {
+  echo "binary trace gate FAILED: chaos tracecat output differs from JSONL" >&2; exit 1; }
+CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick --threads 4 \
+  --trace-format=binary --trace "$SMOKE_DIR/chaos_trace_mt.bin" >/dev/null
+./build/tools/tracecat "$SMOKE_DIR/chaos_trace_mt.bin" -o "$SMOKE_DIR/chaos_trace_mt_conv.jsonl"
+cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_mt_conv.jsonl" || {
+  echo "binary trace gate FAILED: chaos 4-thread binary trace differs" >&2; exit 1; }
+echo "tracecat: fig7 + chaos binary traces byte-identical to JSONL at 1 and 4 threads"
+
+echo "== run-store gate: C++ writer vs C++ and python readers =="
+./build/bench/bench_fig7_latency --quick --runstore "$SMOKE_DIR/runstore" \
+  --run-id check-a --git-sha check --config-hash quick >/dev/null
+./build/bench/bench_fig7_latency --quick --runstore "$SMOKE_DIR/runstore" \
+  --run-id check-b --git-sha check --config-hash quick >/dev/null
+./build/tools/runstore_query "$SMOKE_DIR/runstore" rows >"$SMOKE_DIR/runstore_rows.tsv"
+python3 - "$SMOKE_DIR/runstore" <<'EOF'
+import sys, os
+sys.path.insert(0, "scripts")
+import bench_trend
+store = sys.argv[1]
+rows = bench_trend.read_manifest(store)
+assert [r["run_id"] for r in rows] == ["check-a", "check-b"], rows
+columns = bench_trend.list_columns(store)
+assert columns, "bench run appended no columns"
+for name in columns:
+    records = bench_trend.read_column(store, name)
+    assert records, f"empty column {name}"
+    assert {row for row, _ in records} <= {0, 1}, f"bad row ids in {name}"
+print(f"run-store OK ({len(rows)} rows, {len(columns)} columns, python reader agrees)")
+EOF
+# Identical seeded runs must append identical values: the two rows of any
+# column agree record-for-record (cross-checked through the C++ reader).
+python3 - "$SMOKE_DIR/runstore" <<'EOF'
+import subprocess, sys
+store = sys.argv[1]
+columns = subprocess.run(["./build/tools/runstore_query", store, "columns"],
+                         capture_output=True, text=True, check=True).stdout.split()
+for name in columns:
+    out = subprocess.run(["./build/tools/runstore_query", store, "column", name],
+                         capture_output=True, text=True, check=True).stdout
+    by_row = {"0": [], "1": []}
+    for line in out.splitlines():
+        row, value = line.split("\t")
+        by_row[row].append(value)
+    assert by_row["0"] == by_row["1"], f"rows disagree in {name}"
+print(f"runstore_query OK ({len(columns)} columns, identical seeded rows agree)")
+EOF
+
 echo "== bench smoke: observability exports =="
 python3 - "$SMOKE_DIR/fig7_report_a.json" "$SMOKE_DIR/fig7_trace_a.jsonl" <<'EOF'
 import json, sys
@@ -109,6 +181,11 @@ assert report["schema"].startswith("cloudfog.run_report/"), report["schema"]
 assert report["runs"], "no runs in report"
 assert len(report["counters"]) >= 5, "expected at least five counters"
 assert report["phases"], "no phase profile"
+trace = report["trace"]
+# Drop accounting: with a sink attached the ring is a write buffer, so a
+# nonzero drop count means retained events were silently lost.
+assert trace["dropped"] == 0, f"trace dropped {trace['dropped']} events with a sink attached"
+assert trace["retention"] == "full", trace
 last = float("-inf")
 n = 0
 with open(trace_path) as f:
@@ -127,6 +204,8 @@ import json, sys
 report = json.load(open(sys.argv[1]))
 assert report["schema"].startswith("cloudfog.run_report/"), report["schema"]
 assert report["runs"], "no runs in chaos report"
+assert report["trace"]["dropped"] == 0, \
+    f"chaos trace dropped {report['trace']['dropped']} events with a sink attached"
 counters = report["counters"]
 joins, leaves = counters["system.player_joins"], counters["system.player_leaves"]
 assert joins == leaves, f"session leak: {joins} joins vs {leaves} leaves"

@@ -34,6 +34,22 @@ FogObs& fog_obs() {
   return handles;
 }
 
+/// Interned note vocabulary for the selection protocol's trace events.
+struct FogNotes {
+  obs::NoteId crashed = obs::intern_note("crashed");
+  obs::NoteId blackholed = obs::intern_note("blackholed");
+  obs::NoteId partitioned = obs::intern_note("partitioned");
+  obs::NoteId within_lmax = obs::intern_note("within_lmax");
+  obs::NoteId over_lmax = obs::intern_note("over_lmax");
+  obs::NoteId granted = obs::intern_note("granted");
+  obs::NoteId denied = obs::intern_note("denied");
+};
+
+const FogNotes& fog_notes() {
+  static const FogNotes notes;
+  return notes;
+}
+
 }  // namespace
 
 FogManager::FogManager(FogManagerConfig cfg, const Cloud& cloud,
@@ -81,8 +97,9 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
           rec.registry().add(fog_obs().probes_sent);
           rec.trace(obs::EventKind::kProbeSent, static_cast<std::int64_t>(player.info.id),
                     static_cast<std::int64_t>(idx), 0.0,
-                    sn.failed ? "crashed"
-                              : (faults_->blackholed(idx) ? "blackholed" : "partitioned"));
+                    sn.failed ? fog_notes().crashed
+                              : (faults_->blackholed(idx) ? fog_notes().blackholed
+                                                          : fog_notes().partitioned));
         }
         continue;
       }
@@ -101,7 +118,7 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
                   static_cast<std::int64_t>(idx));
         rec.trace(obs::EventKind::kProbeAnswered, static_cast<std::int64_t>(player.info.id),
                   static_cast<std::int64_t>(idx), rtt,
-                  within_lmax ? "within_lmax" : "over_lmax");
+                  within_lmax ? fog_notes().within_lmax : fog_notes().over_lmax);
         if (within_lmax) rec.registry().add(fog_obs().probes_qualified);
       }
     }
@@ -133,7 +150,7 @@ SelectionOutcome FogManager::try_candidates(PlayerState& player,
       rec.registry().add(fog_obs().capacity_asks);
       rec.trace(obs::EventKind::kCapacityClaim, static_cast<std::int64_t>(player.info.id),
                 static_cast<std::int64_t>(cand.index), granted ? 1.0 : 0.0,
-                granted ? "granted" : "denied");
+                granted ? fog_notes().granted : fog_notes().denied);
     }
     if (granted) {
       ++sn.served;

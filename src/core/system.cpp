@@ -566,8 +566,10 @@ void System::maybe_run_provisioning(int day, int subcycle) {
     }
     rec.registry().add(sys_obs().provisioning_rounds);
     rec.registry().set(sys_obs().deployed, static_cast<double>(deployed_count));
+    static const obs::NoteId kWantedNote = obs::intern_note("wanted=");
     rec.trace(obs::EventKind::kProvisioning, day, subcycle,
-              static_cast<double>(deployed_count), "wanted=" + std::to_string(wanted));
+              static_cast<double>(deployed_count),
+              obs::Note{kWantedNote, static_cast<std::int64_t>(wanted)});
   }
 }
 

@@ -127,7 +127,7 @@ void FaultInjector::emit(bool injected, const FaultSpec& spec, std::size_t targe
                           : static_cast<std::int64_t>(spec.target_b);
   rec.trace_at(sim_.now(),
                injected ? obs::EventKind::kFaultInjected : obs::EventKind::kFaultCleared,
-               subject, object, spec.magnitude, fault_kind_name(spec.kind));
+               subject, object, spec.magnitude, fault_kind_note(spec.kind));
 }
 
 }  // namespace cloudfog::fault

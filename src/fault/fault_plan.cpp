@@ -1,6 +1,7 @@
 #include "fault/fault_plan.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdlib>
 
@@ -50,6 +51,16 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kProbeBlackhole: return "probe_blackhole";
   }
   return "unknown";
+}
+
+obs::NoteId fault_kind_note(FaultKind kind) {
+  static const std::array<obs::NoteId, 6> notes = {
+      obs::intern_note("supernode_crash"),    obs::intern_note("slow_node"),
+      obs::intern_note("network_partition"),  obs::intern_note("packet_loss_burst"),
+      obs::intern_note("message_delay_burst"), obs::intern_note("probe_blackhole"),
+  };
+  const auto index = static_cast<std::size_t>(kind);
+  return index < notes.size() ? notes[index] : obs::NoteId{};
 }
 
 FaultPlan FaultPlan::generate(const FaultPlanConfig& cfg) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/note_table.hpp"
 #include "util/rng.hpp"
 
 namespace cloudfog::fault {
@@ -26,6 +27,9 @@ enum class FaultKind : std::uint8_t {
 };
 
 const char* fault_kind_name(FaultKind kind);
+
+/// `fault_kind_name(kind)` as an interned trace note (allocation-free).
+obs::NoteId fault_kind_note(FaultKind kind);
 
 /// Target wildcard: the executor picks a victim at apply time (e.g. a
 /// supernode that is actually serving players, for maximum blast radius).

@@ -74,6 +74,11 @@ RetryBudget::RetryBudget(const RetryPolicy& policy, std::string_view site)
   policy_.validate();
 }
 
+obs::NoteId RetryBudget::site_note() {
+  if (site_note_.index == 0 && !site_.empty()) site_note_ = obs::intern_note(site_);
+  return site_note_;
+}
+
 bool RetryBudget::can_attempt() const {
   if (exhausted_) return false;
   if (!policy_.unbounded_attempts() && attempts_ >= policy_.max_attempts) return false;
@@ -88,7 +93,7 @@ bool RetryBudget::next_attempt(util::Rng& rng, double* backoff_ms) {
       if (rec.enabled()) {
         rec.registry().add(retry_obs().exhaustions);
         rec.trace(obs::EventKind::kRetryExhausted, attempts_, -1, elapsed_ms_,
-                  std::string(site_));
+                  site_note());
       }
     }
     return false;
@@ -102,7 +107,7 @@ bool RetryBudget::next_attempt(util::Rng& rng, double* backoff_ms) {
     rec.registry().add(retry_obs().attempts);
     if (attempts_ >= 2) {
       rec.registry().add(retry_obs().retries);
-      rec.trace(obs::EventKind::kRetryAttempt, attempts_, -1, wait, std::string(site_));
+      rec.trace(obs::EventKind::kRetryAttempt, attempts_, -1, wait, site_note());
     }
   }
   return true;

@@ -19,6 +19,7 @@
 #include <limits>
 #include <string_view>
 
+#include "obs/note_table.hpp"
 #include "util/rng.hpp"
 
 namespace cloudfog::fault {
@@ -87,8 +88,13 @@ class RetryBudget {
   bool exhausted() const { return exhausted_; }
 
  private:
+  /// `site_` interned on first traced event, then cached — budgets that
+  /// never emit (the common case) skip the note-table lookup entirely.
+  obs::NoteId site_note();
+
   RetryPolicy policy_;
   std::string_view site_;
+  obs::NoteId site_note_{};
   int attempts_ = 0;
   double elapsed_ms_ = 0.0;
   bool exhausted_ = false;

@@ -1,0 +1,192 @@
+#include "obs/binary_trace.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace cloudfog::obs {
+
+namespace {
+
+constexpr std::size_t kFlushThreshold = std::size_t{60} * 1024;
+
+void put_u16(std::vector<char>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xffu));
+  buf.push_back(static_cast<char>((v >> 8) & 0xffu));
+}
+
+void put_u64(std::vector<char>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_f64(std::vector<char>& buf, double v) { put_u64(buf, std::bit_cast<std::uint64_t>(v)); }
+
+void put_i64(std::vector<char>& buf, std::int64_t v) {
+  put_u64(buf, static_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const unsigned char* p) { return std::bit_cast<double>(get_u64(p)); }
+
+std::int64_t get_i64(const unsigned char* p) { return static_cast<std::int64_t>(get_u64(p)); }
+
+bool read_exact(std::istream& is, char* out, std::size_t n) {
+  is.read(out, static_cast<std::streamsize>(n));
+  return is.gcount() == static_cast<std::streamsize>(n);
+}
+
+}  // namespace
+
+BinaryTraceSink::BinaryTraceSink(std::ostream& os) : os_(&os) {
+  buf_.reserve(kFlushThreshold + 256);
+  buf_.push_back('C');
+  buf_.push_back('F');
+  buf_.push_back('T');
+  buf_.push_back('R');
+  put_u16(buf_, kBinaryTraceVersion);
+  put_u16(buf_, static_cast<std::uint16_t>(kBinaryTraceHeaderBytes));
+  put_u16(buf_, static_cast<std::uint16_t>(kBinaryTraceRecordBytes));
+  put_u16(buf_, 0);  // reserved
+}
+
+BinaryTraceSink::~BinaryTraceSink() { flush(); }
+
+std::uint16_t BinaryTraceSink::file_note_id(NoteId note) {
+  if (note.index == 0) return 0;
+  if (note.index >= file_ids_.size()) file_ids_.resize(note.index + 1, 0);
+  std::uint16_t& slot = file_ids_[note.index];
+  if (slot == 0) {
+    CLOUDFOG_REQUIRE(next_file_id_ != std::numeric_limits<std::uint16_t>::max(),
+                     "binary trace string table overflow (65534 distinct notes)");
+    slot = next_file_id_++;
+    const std::string_view text = note_text(note);
+    CLOUDFOG_REQUIRE(text.size() <= std::numeric_limits<std::uint16_t>::max(),
+                     "note text too long for the binary string table");
+    buf_.push_back(static_cast<char>(kBinaryFrameString));
+    put_u16(buf_, slot);
+    put_u16(buf_, static_cast<std::uint16_t>(text.size()));
+    buf_.insert(buf_.end(), text.begin(), text.end());
+  }
+  return slot;
+}
+
+void BinaryTraceSink::write(const TraceEvent& event) {
+  const std::uint16_t note_id = file_note_id(event.note.id);
+  buf_.push_back(static_cast<char>(kBinaryFrameEvent));
+  put_f64(buf_, event.t);
+  put_i64(buf_, event.subject);
+  put_i64(buf_, event.object);
+  put_f64(buf_, event.value);
+  put_i64(buf_, event.note.arg);
+  buf_.push_back(static_cast<char>(event.kind));
+  buf_.push_back(static_cast<char>(event.note.has_arg ? 1 : 0));
+  put_u16(buf_, note_id);
+  if (buf_.size() >= kFlushThreshold) flush();
+}
+
+void BinaryTraceSink::flush() {
+  if (!buf_.empty()) {
+    os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& is) : is_(&is) {
+  notes_.push_back(NoteId{0});  // file id 0: no note
+  char header[kBinaryTraceHeaderBytes];
+  if (!read_exact(*is_, header, sizeof(header))) {
+    fail("truncated binary trace header");
+    return;
+  }
+  if (std::memcmp(header, "CFTR", 4) != 0) {
+    fail("not a CloudFog binary trace (bad magic)");
+    return;
+  }
+  const auto* h = reinterpret_cast<const unsigned char*>(header);
+  const std::uint16_t version = get_u16(h + 4);
+  const std::uint16_t header_bytes = get_u16(h + 6);
+  const std::uint16_t record_bytes = get_u16(h + 8);
+  if (version != kBinaryTraceVersion) {
+    fail("unsupported binary trace version " + std::to_string(version));
+    return;
+  }
+  if (header_bytes != kBinaryTraceHeaderBytes || record_bytes != kBinaryTraceRecordBytes) {
+    fail("binary trace header/record size mismatch");
+    return;
+  }
+}
+
+bool BinaryTraceReader::next(TraceEvent* out) {
+  if (!ok()) return false;
+  for (;;) {
+    char tag = 0;
+    is_->read(&tag, 1);
+    if (is_->gcount() != 1) return false;  // clean EOF
+    if (tag == static_cast<char>(kBinaryFrameString)) {
+      char head[4];
+      if (!read_exact(*is_, head, sizeof(head))) {
+        fail("truncated string-table entry");
+        return false;
+      }
+      const auto* p = reinterpret_cast<const unsigned char*>(head);
+      const std::uint16_t id = get_u16(p);
+      const std::uint16_t len = get_u16(p + 2);
+      std::string text(len, '\0');
+      if (len != 0 && !read_exact(*is_, text.data(), len)) {
+        fail("truncated string-table text");
+        return false;
+      }
+      if (id != notes_.size()) {
+        fail("string-table ids must be dense and in order of first use");
+        return false;
+      }
+      notes_.push_back(intern_note(text));
+      continue;
+    }
+    if (tag == static_cast<char>(kBinaryFrameEvent)) {
+      char rec[kBinaryTraceRecordBytes];
+      if (!read_exact(*is_, rec, sizeof(rec))) {
+        fail("truncated event record");
+        return false;
+      }
+      const auto* p = reinterpret_cast<const unsigned char*>(rec);
+      TraceEvent e;
+      e.t = get_f64(p);
+      e.subject = get_i64(p + 8);
+      e.object = get_i64(p + 16);
+      e.value = get_f64(p + 24);
+      const std::int64_t note_arg = get_i64(p + 32);
+      const std::uint8_t kind = p[40];
+      const std::uint8_t flags = p[41];
+      const std::uint16_t note_id = get_u16(p + 42);
+      if (kind >= kEventKindCount) {
+        fail("unknown event kind " + std::to_string(kind));
+        return false;
+      }
+      if (note_id >= notes_.size()) {
+        fail("event references unknown string-table id " + std::to_string(note_id));
+        return false;
+      }
+      e.kind = static_cast<EventKind>(kind);
+      e.note = (flags & 1u) != 0 ? Note{notes_[note_id], note_arg} : Note{notes_[note_id]};
+      *out = e;
+      return true;
+    }
+    fail("unknown frame tag " + std::to_string(static_cast<unsigned char>(tag)));
+    return false;
+  }
+}
+
+}  // namespace cloudfog::obs

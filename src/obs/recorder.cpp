@@ -22,14 +22,14 @@ double Recorder::now() const {
 }
 
 void Recorder::trace(EventKind kind, std::int64_t subject, std::int64_t object,
-                     double value, std::string note) {
+                     double value, Note note) {
   if (!enabled_) return;
   if (t_capture != nullptr) {
     t_capture->ops_.push_back(
-        ObsCapture::Op{true, CounterId{}, 0, kind, subject, object, value, std::move(note)});
+        ObsCapture::Op{true, CounterId{}, 0, kind, subject, object, value, note});
     return;
   }
-  trace_.push(TraceEvent{now(), kind, subject, object, value, std::move(note)});
+  trace_.push(TraceEvent{now(), kind, subject, object, value, note});
 }
 
 void Recorder::count(CounterId id, std::uint64_t n) {
@@ -43,9 +43,9 @@ void Recorder::count(CounterId id, std::uint64_t n) {
 void Recorder::set_thread_capture(ObsCapture* cap) { t_capture = cap; }
 
 void Recorder::replay(ObsCapture& cap) {
-  for (ObsCapture::Op& op : cap.ops_) {
+  for (const ObsCapture::Op& op : cap.ops_) {
     if (op.is_trace) {
-      trace(op.kind, op.subject, op.object, op.value, std::move(op.note));
+      trace(op.kind, op.subject, op.object, op.value, op.note);
     } else {
       registry_.add(op.counter, op.n);
     }
@@ -54,11 +54,11 @@ void Recorder::replay(ObsCapture& cap) {
 }
 
 void Recorder::trace_at(double t_seconds, EventKind kind, std::int64_t subject,
-                        std::int64_t object, double value, std::string note) {
+                        std::int64_t object, double value, Note note) {
   if (!enabled_) return;
   const double t = std::max(base_time_ + t_seconds, last_emitted_);
   last_emitted_ = t;
-  trace_.push(TraceEvent{t, kind, subject, object, value, std::move(note)});
+  trace_.push(TraceEvent{t, kind, subject, object, value, note});
 }
 
 void Recorder::begin_run(std::string label) {
@@ -68,7 +68,7 @@ void Recorder::begin_run(std::string label) {
   sim_time_ = 0.0;
   if (!enabled_) return;
   trace_.push(TraceEvent{now(), EventKind::kRunStart, -1, -1,
-                         static_cast<double>(runs_.size()), std::move(label)});
+                         static_cast<double>(runs_.size()), Note{intern_note(label)}});
 }
 
 void Recorder::add_run_summary(RunSummary summary) {

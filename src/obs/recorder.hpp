@@ -61,6 +61,8 @@ class ObsCapture {
 
  private:
   friend class Recorder;
+  /// Trivially copyable: replay is a flat memcpy-friendly scan and the
+  /// capture path never allocates per event.
   struct Op {
     bool is_trace = false;
     CounterId counter{};
@@ -69,7 +71,7 @@ class ObsCapture {
     std::int64_t subject = -1;
     std::int64_t object = -1;
     double value = 0.0;
-    std::string note;
+    Note note{};
   };
   std::vector<Op> ops_;
 };
@@ -95,15 +97,17 @@ class Recorder {
   /// Monotone trace clock: base + sim time, never going backwards.
   double now() const;
 
-  /// Stamps and buffers a trace event (no-op while disabled).
+  /// Stamps and buffers a trace event (no-op while disabled). Notes are
+  /// interned NoteIds (see obs/note_table.hpp) — hot call sites intern
+  /// their fixed vocabulary once, so pushing never allocates.
   void trace(EventKind kind, std::int64_t subject = -1, std::int64_t object = -1,
-             double value = 0.0, std::string note = {});
+             double value = 0.0, Note note = {});
 
   /// Like trace(), but with an explicit domain timestamp in seconds
   /// (event-driven overlay components own their own sim clock).
   /// Not capture-aware: must not be called from parallel shards.
   void trace_at(double t_seconds, EventKind kind, std::int64_t subject = -1,
-                std::int64_t object = -1, double value = 0.0, std::string note = {});
+                std::int64_t object = -1, double value = 0.0, Note note = {});
 
   /// Counter add that honours a thread-installed capture. Code reachable
   /// from parallel shards must count through this instead of

@@ -128,7 +128,17 @@ void write_report_json(std::ostream& os, const Recorder& recorder) {
   w.field("sunk", trace.total_sunk());
   w.field("buffered", static_cast<std::uint64_t>(trace.size()));
   w.field("dropped", trace.dropped());
+  w.field("sampled_out", trace.sampled_out());
+  w.field("aggregated", trace.aggregated());
   w.field("capacity", static_cast<std::uint64_t>(trace.capacity()));
+  switch (trace.retention()) {
+    case TraceRetention::kFull: w.field("retention", "full"); break;
+    case TraceRetention::kSampled:
+      w.field("retention", "sampled");
+      w.field("sample_every", trace.sample_every());
+      break;
+    case TraceRetention::kAggregated: w.field("retention", "aggregated"); break;
+  }
   w.end_object();
 
   w.end_object();

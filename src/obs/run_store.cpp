@@ -1,0 +1,183 @@
+#include "obs/run_store.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace cloudfog::obs {
+
+namespace {
+
+constexpr char kColumnMagic[4] = {'C', 'F', 'R', 'C'};
+constexpr std::size_t kColumnHeaderBytes = 8;
+constexpr std::size_t kColumnRecordBytes = 16;
+
+void put_u16(char* out, std::uint16_t v) {
+  out[0] = static_cast<char>(v & 0xffu);
+  out[1] = static_cast<char>((v >> 8) & 0xffu);
+}
+
+std::uint16_t get_u16(const char* in) {
+  return static_cast<std::uint16_t>((static_cast<unsigned char>(in[0])) |
+                                    (static_cast<unsigned char>(in[1]) << 8));
+}
+
+void put_u64(char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+}
+
+std::uint64_t get_u64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  return v;
+}
+
+/// Manifest fields share one line per run; keep them from breaking the
+/// row/field structure.
+std::string sanitize_field(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
+  CLOUDFOG_REQUIRE(!dir_.empty(), "run-store directory must be non-empty");
+  std::filesystem::create_directories(std::filesystem::path(dir_) / "columns");
+}
+
+std::uint64_t RunStore::begin_row(const RunKey& key) {
+  const std::filesystem::path manifest = std::filesystem::path(dir_) / "manifest.tsv";
+  // Next row index = number of existing manifest lines.
+  std::uint64_t row = 0;
+  {
+    std::ifstream in(manifest);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++row;
+    }
+  }
+  std::ofstream out(manifest, std::ios::app);
+  CLOUDFOG_REQUIRE(out.good(), "cannot open run-store manifest for append");
+  out << row << '\t' << sanitize_field(key.run_id) << '\t' << sanitize_field(key.git_sha)
+      << '\t' << sanitize_field(key.config_hash) << '\n';
+  CLOUDFOG_REQUIRE(out.good(), "run-store manifest append failed");
+  return row;
+}
+
+std::string RunStore::sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string RunStore::column_path(std::string_view name) const {
+  return (std::filesystem::path(dir_) / "columns" / (sanitize(name) + ".col")).string();
+}
+
+void RunStore::append(std::uint64_t row, std::string_view column, double value) {
+  const std::string path = column_path(column);
+  bool fresh = !std::filesystem::exists(path) || std::filesystem::file_size(path) == 0;
+  if (!fresh) {
+    // A torn tail record (crash mid-append) would misalign every record
+    // written after it; truncate back to the last whole record first.
+    const std::uintmax_t size = std::filesystem::file_size(path);
+    if (size < kColumnHeaderBytes) {
+      std::filesystem::resize_file(path, 0);
+      fresh = true;
+    } else if ((size - kColumnHeaderBytes) % kColumnRecordBytes != 0) {
+      const std::uintmax_t whole =
+          (size - kColumnHeaderBytes) / kColumnRecordBytes * kColumnRecordBytes;
+      std::filesystem::resize_file(path, kColumnHeaderBytes + whole);
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  CLOUDFOG_REQUIRE(out.good(), "cannot open run-store column for append");
+  if (fresh) {
+    char header[kColumnHeaderBytes];
+    header[0] = kColumnMagic[0];
+    header[1] = kColumnMagic[1];
+    header[2] = kColumnMagic[2];
+    header[3] = kColumnMagic[3];
+    put_u16(header + 4, kColumnVersion);
+    put_u16(header + 6, 0);  // reserved
+    out.write(header, static_cast<std::streamsize>(kColumnHeaderBytes));
+  }
+  char record[kColumnRecordBytes];
+  put_u64(record, row);
+  put_u64(record + 8, std::bit_cast<std::uint64_t>(value));
+  out.write(record, static_cast<std::streamsize>(kColumnRecordBytes));
+  CLOUDFOG_REQUIRE(out.good(), "run-store column append failed");
+}
+
+std::vector<RunStore::Row> RunStore::rows() const {
+  std::vector<Row> out;
+  std::ifstream in(std::filesystem::path(dir_) / "manifest.tsv");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Row row;
+    std::istringstream fields(line);
+    std::string index;
+    std::getline(fields, index, '\t');
+    std::getline(fields, row.run_id, '\t');
+    std::getline(fields, row.git_sha, '\t');
+    std::getline(fields, row.config_hash, '\t');
+    row.row = std::strtoull(index.c_str(), nullptr, 10);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::string> RunStore::columns() const {
+  std::vector<std::string> out;
+  const std::filesystem::path columns_dir = std::filesystem::path(dir_) / "columns";
+  if (!std::filesystem::exists(columns_dir)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(columns_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path p = entry.path();
+    if (p.extension() != ".col") continue;
+    out.push_back(p.stem().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> RunStore::column(std::string_view name) const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  std::ifstream in(column_path(name), std::ios::binary);
+  if (!in.good()) return out;
+  char header[kColumnHeaderBytes];
+  in.read(header, static_cast<std::streamsize>(kColumnHeaderBytes));
+  if (in.gcount() != static_cast<std::streamsize>(kColumnHeaderBytes)) return out;
+  CLOUDFOG_REQUIRE(header[0] == kColumnMagic[0] && header[1] == kColumnMagic[1] &&
+                       header[2] == kColumnMagic[2] && header[3] == kColumnMagic[3],
+                   "bad run-store column magic");
+  CLOUDFOG_REQUIRE(get_u16(header + 4) == kColumnVersion,
+                   "unsupported run-store column version");
+  char record[kColumnRecordBytes];
+  while (in.read(record, static_cast<std::streamsize>(kColumnRecordBytes))) {
+    out.emplace_back(get_u64(record), std::bit_cast<double>(get_u64(record + 8)));
+  }
+  // A torn tail record (partial write) is dropped, matching the append-only
+  // crash model documented in run_store.hpp.
+  return out;
+}
+
+}  // namespace cloudfog::obs

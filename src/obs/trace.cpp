@@ -30,39 +30,127 @@ const char* event_kind_name(EventKind kind) {
   return "unknown";
 }
 
+void JsonlTraceSink::write(const TraceEvent& event) {
+  TraceBuffer::write_jsonl(*os_, event);
+}
+
 TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+namespace {
+
+/// Structural events always survive sampling and close aggregation
+/// windows: they are the timeline the other events hang off.
+bool structural(EventKind kind) {
+  return kind == EventKind::kRunStart || kind == EventKind::kSubcycle;
+}
+
+}  // namespace
 
 void TraceBuffer::push(TraceEvent event) {
   ++total_pushed_;
+  switch (retention_) {
+    case TraceRetention::kFull:
+      break;
+    case TraceRetention::kSampled:
+      if (!structural(event.kind)) {
+        const std::uint64_t seq = sample_seq_++;
+        if (sample_every_ > 1 && seq % sample_every_ != 0) {
+          ++sampled_out_;
+          return;
+        }
+      }
+      break;
+    case TraceRetention::kAggregated:
+      if (!structural(event.kind)) {
+        KindWindow& w = window_[static_cast<std::size_t>(event.kind)];
+        ++w.count;
+        w.value_sum += event.value;
+        window_open_ = true;
+        window_last_t_ = event.t;
+        ++aggregated_;
+        return;
+      }
+      // A boundary: summarize the window it closes, then pass through.
+      if (window_open_) {
+        const double t = event.t;
+        window_last_t_ = t;
+        close_aggregation_window();
+      }
+      break;
+  }
+  retain(std::move(event));
+}
+
+void TraceBuffer::close_aggregation_window() {
+  if (retention_ != TraceRetention::kAggregated || !window_open_) return;
+  static const NoteId kAggNote = intern_note("agg");
+  window_open_ = false;  // cleared first: retain() below must not recurse
+  for (std::size_t k = 0; k < window_.size(); ++k) {
+    KindWindow& w = window_[k];
+    if (w.count == 0) continue;
+    TraceEvent agg;
+    agg.t = window_last_t_;
+    agg.kind = static_cast<EventKind>(k);
+    agg.subject = static_cast<std::int64_t>(w.count);
+    agg.object = -1;
+    agg.value = w.value_sum;
+    agg.note = Note{kAggNote};
+    retain(agg);
+    w = KindWindow{};
+  }
+}
+
+void TraceBuffer::retain(TraceEvent event) {
   if (size_ == ring_.size()) {
     if (sink_ != nullptr) {
       flush();
     } else {
       // Overwrite the oldest event.
-      ring_[head_] = std::move(event);
+      ring_[head_] = event;
       head_ = (head_ + 1) % ring_.size();
       ++dropped_;
       return;
     }
   }
-  ring_[(head_ + size_) % ring_.size()] = std::move(event);
+  ring_[(head_ + size_) % ring_.size()] = event;
   ++size_;
 }
 
-void TraceBuffer::set_sink(std::ostream* sink) {
+void TraceBuffer::set_event_sink(TraceSink* sink) {
+  owned_jsonl_.reset();
   sink_ = sink;
   if (sink_ != nullptr) flush();
+}
+
+void TraceBuffer::set_sink(std::ostream* os) {
+  if (os == nullptr) {
+    set_event_sink(nullptr);
+    return;
+  }
+  auto jsonl = std::make_unique<JsonlTraceSink>(*os);
+  sink_ = jsonl.get();
+  owned_jsonl_ = std::move(jsonl);
+  flush();
 }
 
 void TraceBuffer::flush() {
   if (sink_ != nullptr) {
     for (std::size_t i = 0; i < size_; ++i) {
-      write_jsonl(*sink_, ring_[(head_ + i) % ring_.size()]);
+      sink_->write(ring_[(head_ + i) % ring_.size()]);
       ++total_sunk_;
     }
+    sink_->flush();
   }
   head_ = 0;
   size_ = 0;
+}
+
+void TraceBuffer::set_retention(TraceRetention mode, std::uint64_t sample_every) {
+  CLOUDFOG_REQUIRE(total_pushed_ == 0,
+                   "trace retention must be chosen before events are pushed");
+  CLOUDFOG_REQUIRE(sample_every >= 1, "sample_every must be >= 1");
+  retention_ = mode;
+  sample_every_ = sample_every;
 }
 
 std::vector<TraceEvent> TraceBuffer::events() const {
@@ -78,6 +166,12 @@ void TraceBuffer::clear() {
   total_pushed_ = 0;
   total_sunk_ = 0;
   dropped_ = 0;
+  sampled_out_ = 0;
+  aggregated_ = 0;
+  sample_seq_ = 0;
+  window_.fill(KindWindow{});
+  window_open_ = false;
+  window_last_t_ = 0.0;
 }
 
 void TraceBuffer::write_jsonl(std::ostream& os, const TraceEvent& event) {
@@ -86,7 +180,12 @@ void TraceBuffer::write_jsonl(std::ostream& os, const TraceEvent& event) {
   if (event.subject >= 0) os << ",\"subject\":" << event.subject;
   if (event.object >= 0) os << ",\"object\":" << event.object;
   if (event.value != 0.0) os << ",\"value\":" << json_number(event.value);
-  if (!event.note.empty()) os << ",\"note\":\"" << json_escape(event.note) << '"';
+  const std::string_view note = note_text(event.note.id);
+  if (!note.empty() || event.note.has_arg) {
+    os << ",\"note\":\"" << json_escape(note);
+    if (event.note.has_arg) os << event.note.arg;
+    os << '"';
+  }
   os << "}\n";
 }
 

@@ -2,19 +2,40 @@
 //
 // Components push typed events stamped with the simulation clock; the
 // buffer is a fixed-capacity ring so tracing never grows memory unbounded.
-// Two retention modes:
+// Two retention behaviours with respect to the ring:
 //   * no sink attached — the ring keeps the most recent `capacity` events
 //     (oldest overwritten, counted as dropped);
-//   * JSONL sink attached — the ring is a write buffer: it flushes to the
-//     sink when full and on flush(), so the file sees every event while
-//     memory stays bounded.
+//   * sink attached — the ring is a write buffer: it flushes to the sink
+//     when full and on flush(), so the sink sees every retained event
+//     while memory stays bounded.
+//
+// Orthogonally, a retention mode decides which pushed events are retained
+// at all (DESIGN.md §11):
+//   * kFull       — every event (the default);
+//   * kSampled    — every Nth non-structural event, decided by a counter
+//                   over the deterministic arrival sequence (never wall
+//                   clock or RNG), so the sampled trace is identical at
+//                   any thread count; kRunStart/kSubcycle always pass;
+//   * kAggregated — non-structural events fold into per-window, per-kind
+//                   {count, value-sum} accumulators; each kSubcycle /
+//                   kRunStart boundary emits one summary event per kind
+//                   seen in the closed window (note "agg", subject=count,
+//                   value=sum, stamped at the boundary time).
+//
+// Sinks serialize retained events: JsonlTraceSink writes the historical
+// JSONL lines; obs::BinaryTraceSink (binary_trace.hpp) writes the
+// fixed-width binary format that tools/trace/tracecat converts back to
+// byte-identical JSONL.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <ostream>
-#include <string>
 #include <vector>
+
+#include "obs/note_table.hpp"
 
 namespace cloudfog::obs {
 
@@ -40,6 +61,10 @@ enum class EventKind : std::uint8_t {
   kFogReturn,       ///< subject=player, object=supernode
 };
 
+/// Number of EventKind values (aggregation buckets, binary-format checks).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kFogReturn) + 1;
+
 const char* event_kind_name(EventKind kind);
 
 struct TraceEvent {
@@ -48,8 +73,31 @@ struct TraceEvent {
   std::int64_t subject = -1;
   std::int64_t object = -1;
   double value = 0.0;
-  std::string note;  ///< optional free-form detail (JSON-escaped on write)
+  Note note{};  ///< interned note text + optional integer argument
 };
+
+/// Destination for retained trace events. write() is called once per event
+/// in trace order; flush() must leave every written event visible to the
+/// underlying stream (sinks may buffer internally between calls).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// The historical JSONL sink: one JSON object per line, fields omitted
+/// when unset, written straight through to the stream.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(&os) {}
+  void write(const TraceEvent& event) override;
+
+ private:
+  std::ostream* os_;
+};
+
+enum class TraceRetention : std::uint8_t { kFull, kSampled, kAggregated };
 
 class TraceBuffer {
  public:
@@ -57,12 +105,32 @@ class TraceBuffer {
 
   void push(TraceEvent event);
 
-  /// Attaches a JSONL sink (nullptr detaches). The buffer flushes current
-  /// contents immediately when a sink is attached.
-  void set_sink(std::ostream* sink);
+  /// Attaches a sink (not owned; nullptr detaches). The buffer flushes
+  /// current contents immediately when a sink is attached.
+  void set_event_sink(TraceSink* sink);
+
+  /// Convenience: attaches an owned JSONL sink over `os` (nullptr
+  /// detaches), preserving the original TraceBuffer API.
+  void set_sink(std::ostream* os);
+
+  bool has_sink() const { return sink_ != nullptr; }
 
   /// Writes everything buffered to the sink (if any) and clears the ring.
   void flush();
+
+  /// Selects the retention mode. `sample_every` is only meaningful for
+  /// kSampled (keep every Nth non-structural event; 1 keeps everything).
+  /// Must be set before events are pushed — switching modes mid-stream
+  /// would make the retained trace meaningless.
+  void set_retention(TraceRetention mode, std::uint64_t sample_every = 1);
+  TraceRetention retention() const { return retention_; }
+  std::uint64_t sample_every() const { return sample_every_; }
+
+  /// Aggregated mode: emits the pending window's summary events (stamped
+  /// at the last seen event time) without waiting for a boundary. Call
+  /// before the final flush so trailing events are not lost. No-op in
+  /// other modes.
+  void close_aggregation_window();
 
   /// Buffered events, oldest first (post-wrap: the surviving window).
   std::vector<TraceEvent> events() const;
@@ -73,19 +141,40 @@ class TraceBuffer {
   std::uint64_t total_pushed() const { return total_pushed_; }
   std::uint64_t total_sunk() const { return total_sunk_; }
   std::uint64_t dropped() const { return dropped_; }
+  /// Events discarded by kSampled retention (not counted as dropped).
+  std::uint64_t sampled_out() const { return sampled_out_; }
+  /// Events folded into aggregate windows by kAggregated retention.
+  std::uint64_t aggregated() const { return aggregated_; }
 
   void clear();
 
   static void write_jsonl(std::ostream& os, const TraceEvent& event);
 
  private:
+  void retain(TraceEvent event);
+
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  ///< index of the oldest buffered event
   std::size_t size_ = 0;
   std::uint64_t total_pushed_ = 0;
   std::uint64_t total_sunk_ = 0;
   std::uint64_t dropped_ = 0;
-  std::ostream* sink_ = nullptr;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t aggregated_ = 0;
+  TraceRetention retention_ = TraceRetention::kFull;
+  std::uint64_t sample_every_ = 1;
+  std::uint64_t sample_seq_ = 0;
+
+  struct KindWindow {
+    std::uint64_t count = 0;
+    double value_sum = 0.0;
+  };
+  std::array<KindWindow, kEventKindCount> window_{};
+  bool window_open_ = false;
+  double window_last_t_ = 0.0;
+
+  TraceSink* sink_ = nullptr;
+  std::unique_ptr<JsonlTraceSink> owned_jsonl_;
 };
 
 }  // namespace cloudfog::obs

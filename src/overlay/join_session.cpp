@@ -138,9 +138,11 @@ void JoinSession::on_message(const Message& msg) {
       auto& rec = obs::Recorder::global();
       if (rec.enabled()) {
         rec.registry().add(join_obs().probes_answered);
+        static const obs::NoteId kWithinLmax = obs::intern_note("within_lmax");
+        static const obs::NoteId kOverLmax = obs::intern_note("over_lmax");
         rec.trace_at(sim_.now(), obs::EventKind::kProbeAnswered,
                      static_cast<std::int64_t>(self_), static_cast<std::int64_t>(msg.src),
-                     rtt, within_lmax ? "within_lmax" : "over_lmax");
+                     rtt, within_lmax ? kWithinLmax : kOverLmax);
       }
       if (probe_sent_ms_.empty()) finish_probing();
       break;
@@ -250,10 +252,12 @@ void JoinSession::finish(bool fog_connected, Address supernode) {
   auto& rec = obs::Recorder::global();
   if (rec.enabled()) {
     rec.registry().add(fog_connected ? join_obs().joins_fog : join_obs().joins_failed);
+    static const obs::NoteId kFog = obs::intern_note("fog");
+    static const obs::NoteId kNoSupernode = obs::intern_note("no_supernode");
     rec.trace_at(sim_.now(), obs::EventKind::kPlayerJoin,
                  static_cast<std::int64_t>(self_),
                  fog_connected ? static_cast<std::int64_t>(supernode) : -1,
-                 result_.join_latency_ms, fog_connected ? "fog" : "no_supernode");
+                 result_.join_latency_ms, fog_connected ? kFog : kNoSupernode);
   }
   done_(result_);
 }

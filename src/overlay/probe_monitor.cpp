@@ -60,9 +60,10 @@ void ProbeMonitor::tick() {
         static const obs::CounterId failures =
             rec.registry().counter("overlay.liveness_failures");
         rec.registry().add(failures);
+        static const obs::NoteId kLivenessTimeout = obs::intern_note("liveness_timeout");
         rec.trace_at(sim_.now(), obs::EventKind::kSupernodeChurn,
                      static_cast<std::int64_t>(target_), static_cast<std::int64_t>(self_),
-                     static_cast<double>(misses_), "liveness_timeout");
+                     static_cast<double>(misses_), kLivenessTimeout);
       }
       // The callback may destroy this monitor (typical: the player stops
       // watching and rejoins); keep the callable alive on the stack.

@@ -1,0 +1,105 @@
+// Trace retention determinism (DESIGN.md §11): sampling decisions are a
+// pure function of the deterministic event arrival sequence — never wall
+// clock or RNG — so a sampled (or aggregated) trace must be byte-identical
+// across runs and across QoS thread counts, exactly like the full trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/system.hpp"
+#include "core/testbed.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace cloudfog;
+
+struct RetentionSpec {
+  obs::TraceRetention mode = obs::TraceRetention::kFull;
+  std::uint64_t sample_every = 1;
+};
+
+/// Runs one day under a fresh recorder with the given retention and QoS
+/// thread count; returns the JSONL trace bytes.
+std::string run_traced(const core::Testbed& testbed, int threads, RetentionSpec spec) {
+  auto& rec = obs::Recorder::global();
+  rec.reset();
+  rec.set_enabled(true);
+  auto& buf = rec.trace_buffer();
+  buf.set_retention(spec.mode, spec.sample_every);
+  std::ostringstream trace;
+  buf.set_sink(&trace);
+  {
+    core::SystemConfig cfg;
+    cfg.architecture = core::Architecture::kCloudFog;
+    cfg.supernode_count = 80;
+    cfg.qos.threads = threads;
+    core::System system(testbed, cfg, 97);
+    const int per_day = testbed.activity().config().subcycles_per_day;
+    system.begin_cycle(1);
+    for (int s = 1; s <= per_day; ++s) system.run_subcycle(1, s, false, false);
+    system.end_cycle(1);
+  }
+  buf.close_aggregation_window();
+  buf.flush();
+  EXPECT_EQ(buf.dropped(), 0u);
+  buf.set_sink(nullptr);
+  rec.set_enabled(false);
+  rec.reset();
+  buf.set_retention(obs::TraceRetention::kFull);
+  return trace.str();
+}
+
+class TraceRetention : public ::testing::Test {
+ protected:
+  TraceRetention() : testbed_(core::TestbedConfig::peersim(1200), 7) {}
+  core::Testbed testbed_;
+};
+
+TEST_F(TraceRetention, SampledTraceIsIdenticalAcrossThreadCounts) {
+  const RetentionSpec sampled{obs::TraceRetention::kSampled, 16};
+  const std::string serial = run_traced(testbed_, 1, sampled);
+  const std::string parallel = run_traced(testbed_, 4, sampled);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // Repeat run: same seed, same bytes.
+  EXPECT_EQ(serial, run_traced(testbed_, 2, sampled));
+}
+
+TEST_F(TraceRetention, SampledTraceIsASubsetKeepingStructure) {
+  const std::string full = run_traced(testbed_, 1, {});
+  const std::string sampled =
+      run_traced(testbed_, 1, {obs::TraceRetention::kSampled, 16});
+  ASSERT_LT(sampled.size(), full.size() / 4);
+  // Every sampled line exists verbatim in the full trace, in order.
+  std::istringstream lines(sampled);
+  std::string line;
+  std::size_t from = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t at = full.find(line + "\n", from);
+    ASSERT_NE(at, std::string::npos) << "sampled line missing from full trace: " << line;
+    from = at + 1;
+  }
+  // Structural events all survive sampling.
+  for (const char* needle : {"\"kind\":\"run_start\"", "\"kind\":\"subcycle\""}) {
+    std::size_t count_full = 0, count_sampled = 0;
+    for (std::size_t p = full.find(needle); p != std::string::npos;
+         p = full.find(needle, p + 1)) ++count_full;
+    for (std::size_t p = sampled.find(needle); p != std::string::npos;
+         p = sampled.find(needle, p + 1)) ++count_sampled;
+    EXPECT_EQ(count_full, count_sampled) << needle;
+  }
+}
+
+TEST_F(TraceRetention, AggregatedTraceIsIdenticalAcrossThreadCounts) {
+  const RetentionSpec agg{obs::TraceRetention::kAggregated, 1};
+  const std::string serial = run_traced(testbed_, 1, agg);
+  const std::string parallel = run_traced(testbed_, 4, agg);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"note\":\"agg\""), std::string::npos);
+}
+
+}  // namespace

@@ -65,7 +65,7 @@ TEST_F(RecorderTest, BeginRunRebasesAcrossRuns) {
     last = e.t;
   }
   EXPECT_EQ(events[2].kind, EventKind::kRunStart);
-  EXPECT_EQ(events[2].note, "second");
+  EXPECT_EQ(events[2].note.text(), "second");
 }
 
 TEST_F(RecorderTest, ScopedTimerRecordsOnlyWhenEnabled) {

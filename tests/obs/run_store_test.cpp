@@ -1,0 +1,122 @@
+// Columnar run-store (DESIGN.md §11): append-only manifest + per-metric
+// column files, reopened and queried across store instances.
+#include "obs/run_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace cloudfog::obs {
+namespace {
+
+class RunStoreTest : public ::testing::Test {
+ protected:
+  RunStoreTest() {
+    dir_ = (std::filesystem::path(::testing::TempDir()) /
+            ("runstore_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  ~RunStoreTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(RunStoreTest, AppendReopenQuery) {
+  {
+    RunStore store(dir_);
+    const std::uint64_t row = store.begin_row({"run-a", "sha1", "cfg1"});
+    EXPECT_EQ(row, 0u);
+    store.append(row, "qos.mos.mean", 4.25);
+    store.append(row, "qos.latency_ms", 80.0);
+  }
+  {
+    // Reopen: row indices continue from the manifest on disk.
+    RunStore store(dir_);
+    const std::uint64_t row = store.begin_row({"run-b", "sha2", "cfg1"});
+    EXPECT_EQ(row, 1u);
+    store.append(row, "qos.mos.mean", 4.5);
+  }
+  RunStore store(dir_);
+  const auto rows = store.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].run_id, "run-a");
+  EXPECT_EQ(rows[0].git_sha, "sha1");
+  EXPECT_EQ(rows[0].config_hash, "cfg1");
+  EXPECT_EQ(rows[1].row, 1u);
+  EXPECT_EQ(rows[1].run_id, "run-b");
+
+  const auto columns = store.columns();
+  ASSERT_EQ(columns.size(), 2u);
+  EXPECT_EQ(columns[0], "qos.latency_ms");
+  EXPECT_EQ(columns[1], "qos.mos.mean");
+
+  const auto mos = store.column("qos.mos.mean");
+  ASSERT_EQ(mos.size(), 2u);
+  EXPECT_EQ(mos[0].first, 0u);
+  EXPECT_DOUBLE_EQ(mos[0].second, 4.25);
+  EXPECT_EQ(mos[1].first, 1u);
+  EXPECT_DOUBLE_EQ(mos[1].second, 4.5);
+
+  EXPECT_TRUE(store.column("unknown.metric").empty());
+}
+
+TEST_F(RunStoreTest, RepeatedAppendsFormAnInRunSeries) {
+  RunStore store(dir_);
+  const std::uint64_t row = store.begin_row({"run", "sha", "cfg"});
+  for (int i = 0; i < 4; ++i) {
+    store.append(row, "subcycle_ms", 1.0 + i);
+  }
+  const auto series = store.column("subcycle_ms");
+  ASSERT_EQ(series.size(), 4u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].first, row);
+    EXPECT_DOUBLE_EQ(series[i].second, 1.0 + static_cast<double>(i));
+  }
+}
+
+TEST_F(RunStoreTest, SanitizesColumnNamesAndManifestFields) {
+  EXPECT_EQ(RunStore::sanitize("qos/mos mean"), "qos_mos_mean");
+  EXPECT_EQ(RunStore::sanitize(""), "_");
+  EXPECT_EQ(RunStore::sanitize("ok.name-1_2"), "ok.name-1_2");
+
+  RunStore store(dir_);
+  const std::uint64_t row = store.begin_row({"id\twith\ttabs", "sha\nline", "cfg"});
+  store.append(row, "weird/column name", 1.0);
+  const auto rows = store.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].run_id, "id_with_tabs");
+  EXPECT_EQ(rows[0].git_sha, "sha_line");
+  ASSERT_EQ(store.columns().size(), 1u);
+  EXPECT_EQ(store.columns()[0], "weird_column_name");
+  EXPECT_EQ(store.column("weird/column name").size(), 1u);
+}
+
+TEST_F(RunStoreTest, TornTailRecordIsDropped) {
+  RunStore store(dir_);
+  const std::uint64_t row = store.begin_row({"run", "sha", "cfg"});
+  store.append(row, "metric_ms", 1.0);
+  store.append(row, "metric_ms", 2.0);
+  const auto path = std::filesystem::path(dir_) / "columns" / "metric_ms.col";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);  // tear the last record
+  const auto records = store.column("metric_ms");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].second, 1.0);
+  // Appending after a crash keeps working (the torn tail stays ignored).
+  store.append(row, "metric_ms", 3.0);
+  EXPECT_EQ(store.column("metric_ms").size(), 2u);
+}
+
+TEST_F(RunStoreTest, EmptyStoreQueries) {
+  RunStore store(dir_);
+  EXPECT_TRUE(store.rows().empty());
+  EXPECT_TRUE(store.columns().empty());
+  EXPECT_TRUE(store.column("anything").empty());
+}
+
+}  // namespace
+}  // namespace cloudfog::obs

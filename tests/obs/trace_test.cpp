@@ -75,7 +75,7 @@ TEST(TraceBuffer, JsonlFieldsAndOptionalOmission) {
   e.subject = 7;
   e.object = 3;
   e.value = 42.0;
-  e.note = "within_lmax";
+  e.note = intern_note("within_lmax");
   std::ostringstream os;
   TraceBuffer::write_jsonl(os, e);
   EXPECT_EQ(os.str(),
@@ -95,7 +95,7 @@ TEST(TraceBuffer, JsonlFieldsAndOptionalOmission) {
 TEST(TraceBuffer, JsonlEscapesNotes) {
   TraceEvent e;
   e.kind = EventKind::kProvisioning;
-  e.note = "a\"b\\c\nd\x01";
+  e.note = intern_note("a\"b\\c\nd\x01");
   std::ostringstream os;
   TraceBuffer::write_jsonl(os, e);
   EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd\\u0001"), std::string::npos);
@@ -123,12 +123,86 @@ TEST(EventKindName, CoversAllKinds) {
   EXPECT_STREQ(event_kind_name(EventKind::kRating), "rating");
 }
 
-TEST(TraceBuffer, ClearResetsBufferButNotTotals) {
+TEST(TraceBuffer, ClearResetsBufferAndCounters) {
   TraceBuffer buf(4);
   buf.push(at(1.0));
   buf.clear();
   EXPECT_EQ(buf.size(), 0u);
   EXPECT_TRUE(buf.events().empty());
+  // A cleared buffer is fully reusable, including retention re-selection.
+  EXPECT_EQ(buf.total_pushed(), 0u);
+  buf.set_retention(TraceRetention::kSampled, 4);
+  EXPECT_EQ(buf.retention(), TraceRetention::kSampled);
+}
+
+TEST(TraceBuffer, SampledRetentionKeepsStructuralAndEveryNth) {
+  TraceBuffer buf(64);
+  buf.set_retention(TraceRetention::kSampled, 4);
+  buf.push(at(0.0, EventKind::kRunStart));
+  for (int i = 0; i < 8; ++i) buf.push(at(1.0 + i, EventKind::kPlayerJoin));
+  buf.push(at(10.0, EventKind::kSubcycle));
+  const auto events = buf.events();
+  // run_start + joins 0 and 4 + subcycle.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, EventKind::kRunStart);
+  EXPECT_DOUBLE_EQ(events[1].t, 1.0);
+  EXPECT_DOUBLE_EQ(events[2].t, 5.0);
+  EXPECT_EQ(events[3].kind, EventKind::kSubcycle);
+  EXPECT_EQ(buf.sampled_out(), 6u);
+  EXPECT_EQ(buf.total_pushed(), 10u);
+}
+
+TEST(TraceBuffer, AggregatedRetentionSummarizesPerWindow) {
+  TraceBuffer buf(64);
+  buf.set_retention(TraceRetention::kAggregated);
+  buf.push(at(0.0, EventKind::kRunStart));
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent e = at(1.0 + i, EventKind::kPlayerJoin);
+    e.value = 10.0;
+    buf.push(e);
+  }
+  buf.push(at(2.0, EventKind::kProbeSent));
+  buf.push(at(5.0, EventKind::kSubcycle));  // closes the window
+  const auto events = buf.events();
+  // run_start, then two summaries (enum order: join before probe), then
+  // the boundary itself.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, EventKind::kRunStart);
+  EXPECT_EQ(events[1].kind, EventKind::kPlayerJoin);
+  EXPECT_EQ(events[1].subject, 3);
+  EXPECT_DOUBLE_EQ(events[1].value, 30.0);
+  EXPECT_EQ(events[1].note.text(), "agg");
+  EXPECT_DOUBLE_EQ(events[1].t, 5.0);
+  EXPECT_EQ(events[2].kind, EventKind::kProbeSent);
+  EXPECT_EQ(events[2].subject, 1);
+  EXPECT_EQ(events[3].kind, EventKind::kSubcycle);
+  EXPECT_EQ(buf.aggregated(), 4u);
+}
+
+TEST(TraceBuffer, CloseAggregationWindowFlushesTrailingEvents) {
+  TraceBuffer buf(64);
+  buf.set_retention(TraceRetention::kAggregated);
+  TraceEvent e = at(7.0, EventKind::kMigration);
+  e.value = 2.5;
+  buf.push(e);
+  EXPECT_TRUE(buf.events().empty());
+  buf.close_aggregation_window();
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kMigration);
+  EXPECT_DOUBLE_EQ(events[0].t, 7.0);
+  EXPECT_DOUBLE_EQ(events[0].value, 2.5);
+}
+
+TEST(TraceBuffer, NoteArgumentAppendsToInternedText) {
+  TraceEvent e;
+  e.kind = EventKind::kProvisioning;
+  e.value = 3.0;
+  e.note = Note{intern_note("wanted="), 42};
+  std::ostringstream os;
+  TraceBuffer::write_jsonl(os, e);
+  EXPECT_NE(os.str().find("\"note\":\"wanted=42\""), std::string::npos);
+  EXPECT_EQ(e.note.text(), "wanted=42");
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+// runstore_query: inspect the columnar run-store (obs::RunStore).
+//
+//   runstore_query <dir> rows                  manifest rows as TSV
+//   runstore_query <dir> columns               sorted column names
+//   runstore_query <dir> column <name>         "row<TAB>value" records
+//   runstore_query <dir> summary <name>        per-row count/mean/min/max
+//
+// Values print with shortest-round-trip formatting (the same json_number
+// used for reports), so output is stable across runs and platforms.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/run_store.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <dir> rows|columns|column <name>|summary <name>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string dir = argv[1];
+  const std::string cmd = argv[2];
+  cloudfog::obs::RunStore store(dir);
+
+  if (cmd == "rows") {
+    if (argc != 3) return usage(argv[0]);
+    for (const auto& row : store.rows()) {
+      std::cout << row.row << '\t' << row.run_id << '\t' << row.git_sha << '\t'
+                << row.config_hash << '\n';
+    }
+    return 0;
+  }
+  if (cmd == "columns") {
+    if (argc != 3) return usage(argv[0]);
+    for (const auto& name : store.columns()) std::cout << name << '\n';
+    return 0;
+  }
+  if (cmd == "column") {
+    if (argc != 4) return usage(argv[0]);
+    for (const auto& [row, value] : store.column(argv[3])) {
+      std::cout << row << '\t' << cloudfog::obs::json_number(value) << '\n';
+    }
+    return 0;
+  }
+  if (cmd == "summary") {
+    if (argc != 4) return usage(argv[0]);
+    struct Acc {
+      std::uint64_t count = 0;
+      double sum = 0.0;
+      double min = 0.0;
+      double max = 0.0;
+    };
+    std::map<std::uint64_t, Acc> per_row;
+    for (const auto& [row, value] : store.column(argv[3])) {
+      Acc& acc = per_row[row];
+      if (acc.count == 0) {
+        acc.min = value;
+        acc.max = value;
+      } else {
+        if (value < acc.min) acc.min = value;
+        if (value > acc.max) acc.max = value;
+      }
+      ++acc.count;
+      acc.sum += value;
+    }
+    std::cout << "row\tcount\tmean\tmin\tmax\n";
+    for (const auto& [row, acc] : per_row) {
+      std::cout << row << '\t' << acc.count << '\t'
+                << cloudfog::obs::json_number(acc.sum / static_cast<double>(acc.count))
+                << '\t' << cloudfog::obs::json_number(acc.min) << '\t'
+                << cloudfog::obs::json_number(acc.max) << '\n';
+    }
+    return 0;
+  }
+  return usage(argv[0]);
+}
