@@ -4,12 +4,18 @@
 // intensity. Reports QoS next to the recovery metrics (MTTR, fault-driven
 // cloud-fallback residency, interrupted sessions). Set CLOUDFOG_FAULT_SEED
 // to replay the exact fault/recovery sequence from a CI log.
+//
+// Each intensity row is one chaos_scenario run through the scenario
+// engine (src/scenario) over a shared testbed — the same machinery that
+// drives the bundled stress scenarios in bench_scenarios.
 #include "bench_common.hpp"
+
+#include "scenario/scenario_engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace cloudfog;
   const auto scale = bench::scale_from_args(argc, argv);
-  bench::print(core::chaos_sweep(core::TestbedProfile::kPeerSim,
-                                 {0.0, 0.5, 1.0, 2.0, 4.0}, scale));
+  bench::print(scenario::chaos_sweep_table(core::TestbedProfile::kPeerSim,
+                                           {0.0, 0.5, 1.0, 2.0, 4.0}, scale));
   return 0;
 }

@@ -3,6 +3,9 @@
 // per-player reputation system (§3.2) is the anticipated defence — players
 // who experienced the sabotage rank those supernodes below any
 // alternative. This sweep quantifies how much of the damage it absorbs.
+// The attack arm is a scenario::AdversaryModel (kind = fixed_delay); the
+// richer adversaries (whitewashing, collusion, on-off) run through
+// bench_scenarios with CI-checked acceptance envelopes.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {

@@ -9,21 +9,27 @@
 #      (wall-clock phase timings are the only sanctioned difference —
 #      tools/determinism/canonicalize_report.py). Both workloads also run
 #      with --threads 4 and must match the serial traces byte-for-byte.
-#   5. binary trace gate: both workloads re-run with --trace-format=binary
+#   5. scenario gate: the bundled data/scenarios suite runs in smoke mode
+#      with every acceptance envelope enforced; the reputation ablation
+#      (--no-reputation --expect-fail) must make at least one adversary
+#      envelope fail; and one scenario (regional-outage) replays seeded —
+#      double-run and --threads 4 traces byte-identical, reports identical
+#      after canonicalization
+#   6. binary trace gate: both workloads re-run with --trace-format=binary
 #      (serial and --threads 4); tools/trace/tracecat must reproduce the
 #      JSONL byte-for-byte
-#   6. run-store gate: two seeded fig7 runs append to a scratch run-store;
+#   7. run-store gate: two seeded fig7 runs append to a scratch run-store;
 #      tools/runstore_query and the scripts/bench_trend.py reader must
 #      agree, and the identical runs must have appended identical values
-#   7. bench smoke: observability export schema checks, including zero
+#   8. bench smoke: observability export schema checks, including zero
 #      trace drops while a sink is attached
-#   8. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
+#   9. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
 #      ctest with CLOUDFOG_THREADS=2 (races in the parallel QoS pass fail
 #      here), a TSan 4-thread fig7 cross-checked against the plain trace,
 #      and the chaos smoke re-run under ASan
 #
 #   scripts/check.sh            everything
-#   scripts/check.sh --quick    stages 1–7 only (no sanitizer builds)
+#   scripts/check.sh --quick    stages 1–8 only (no sanitizer builds)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -106,6 +112,43 @@ CLOUDFOG_FAULT_SEED=424242 ./build/bench/bench_ext_chaos --quick --threads 4 \
 cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_trace_mt.jsonl" || {
   echo "determinism gate FAILED: chaos trace differs between --threads 1 and 4" >&2; exit 1; }
 echo "chaos: seeded replay byte-identical (including --threads 4), canonical report identical"
+
+echo "== scenario gate: bundled suite, envelopes enforced =="
+./build/bench/bench_scenarios --all --smoke --obs-off >"$SMOKE_DIR/scenario_suite.txt" || {
+  echo "scenario gate FAILED: a bundled scenario left its acceptance envelope" >&2
+  tail -25 "$SMOKE_DIR/scenario_suite.txt" >&2; exit 1; }
+tail -11 "$SMOKE_DIR/scenario_suite.txt"
+# The adversary envelopes must be carried by the §3.2 reputation defence:
+# with it switched off, at least one scenario has to fail.
+./build/bench/bench_scenarios --all --smoke --obs-off --no-reputation --expect-fail \
+  >"$SMOKE_DIR/scenario_ablation.txt" || {
+  echo "scenario gate FAILED: every envelope still passes without reputation" >&2
+  tail -25 "$SMOKE_DIR/scenario_ablation.txt" >&2; exit 1; }
+tail -1 "$SMOKE_DIR/scenario_ablation.txt"
+
+echo "== scenario gate: seeded replay (regional-outage) =="
+./build/bench/bench_scenarios --scenario regional-outage --smoke \
+  --report-json "$SMOKE_DIR/scen_report_a.json" \
+  --trace "$SMOKE_DIR/scen_trace_a.jsonl" >"$SMOKE_DIR/scen_stdout_a.txt"
+./build/bench/bench_scenarios --scenario regional-outage --smoke \
+  --report-json "$SMOKE_DIR/scen_report_b.json" \
+  --trace "$SMOKE_DIR/scen_trace_b.jsonl" >"$SMOKE_DIR/scen_stdout_b.txt"
+grep -q '"kind":"fault_' "$SMOKE_DIR/scen_trace_a.jsonl" || {
+  echo "scenario replay injected no faults" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/scen_trace_a.jsonl" "$SMOKE_DIR/scen_trace_b.jsonl" || {
+  echo "determinism gate FAILED: scenario replay diverged (full trace)" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/scen_stdout_a.txt" "$SMOKE_DIR/scen_stdout_b.txt" || {
+  echo "determinism gate FAILED: scenario stdout (envelope tables) differs" >&2; exit 1; }
+python3 tools/determinism/canonicalize_report.py --check \
+  "$SMOKE_DIR/scen_report_a.json" "$SMOKE_DIR/scen_report_b.json" || {
+  echo "determinism gate FAILED: scenario report differs beyond phase timings" >&2; exit 1; }
+./build/bench/bench_scenarios --scenario regional-outage --smoke --threads 4 \
+  --trace "$SMOKE_DIR/scen_trace_mt.jsonl" >"$SMOKE_DIR/scen_stdout_mt.txt"
+cmp -s "$SMOKE_DIR/scen_trace_a.jsonl" "$SMOKE_DIR/scen_trace_mt.jsonl" || {
+  echo "determinism gate FAILED: scenario trace differs between --threads 1 and 4" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/scen_stdout_a.txt" "$SMOKE_DIR/scen_stdout_mt.txt" || {
+  echo "determinism gate FAILED: scenario stdout differs between --threads 1 and 4" >&2; exit 1; }
+echo "scenario: seeded replay byte-identical (including --threads 4), canonical report identical"
 
 echo "== binary trace gate: tracecat round-trip vs JSONL =="
 # The binary format is a pure transport: converting a binary trace back

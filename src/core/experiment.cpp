@@ -424,37 +424,6 @@ util::Table failure_rate_sweep(TestbedProfile profile,
   return table;
 }
 
-util::Table chaos_sweep(TestbedProfile profile, const std::vector<double>& faults_per_hour,
-                        const ExperimentScale& scale) {
-  util::Table table("Chaos — QoS and recovery under a mixed fault schedule");
-  table.set_header({"faults/hour", "continuity", "latency (ms)", "satisfied (%)",
-                    "migrations", "mttr (s)", "fallback res (%)", "interrupted"});
-  const Testbed testbed(profile_config(profile), scale.seed);
-  const auto cycles = to_cycle_config(scale);
-  for (double rate : faults_per_hour) {
-    SystemConfig cfg = cloudfog_advanced_config(testbed, default_supernode_count(testbed));
-    cfg.faults.enabled = true;
-    cfg.faults.faults_per_hour = rate;
-    // A finite re-selection deadline (detection + probing + claims) so a
-    // migration into a churning fleet can exhaust its budget and degrade
-    // to direct cloud streaming — the graceful-degradation path.
-    cfg.fog.selection.deadline_budget_ms = 700.0;
-    cfg.faults.horizon_s = static_cast<double>(cycles.total_cycles) *
-                           static_cast<double>(cycles.subcycles_per_cycle) * 3600.0;
-    System sys(testbed, cfg, scale.seed + 81);
-    const RunMetrics& m = sys.run(cycles);
-    table.add_row({util::format_double(rate, 2),
-                   util::format_double(m.continuity.mean(), 3),
-                   util::format_double(m.response_latency_ms.mean(), 1),
-                   util::format_double(m.satisfied_fraction.mean() * 100.0, 1),
-                   std::to_string(m.migration_latency_ms.count()),
-                   util::format_double(m.mttr_ms.empty() ? 0.0 : m.mttr_ms.mean() / 1000.0, 3),
-                   util::format_double(m.fallback_residency.mean() * 100.0, 2),
-                   std::to_string(m.sessions_interrupted)});
-  }
-  return table;
-}
-
 util::Table candidate_count_ablation(TestbedProfile profile,
                                      const std::vector<std::size_t>& candidate_counts,
                                      const ExperimentScale& scale) {
@@ -510,7 +479,12 @@ util::Table malicious_supernode_sweep(TestbedProfile profile,
   for (double fraction : malicious_fractions) {
     SystemConfig with_cfg =
         cloudfog_basic_config(testbed, default_supernode_count(testbed));
-    with_cfg.malicious.fraction = fraction;
+    // Fixed-delay adversary via the scenario engine's AdversaryModel — the
+    // same rng stream as the legacy MaliciousConfig path (a regression test
+    // asserts the two stay metric-identical on this workload).
+    with_cfg.adversary.kind = scenario::AdversaryKind::kFixedDelay;
+    with_cfg.adversary.fraction = fraction;
+    with_cfg.adversary.delay_ms = with_cfg.malicious.delay_ms;
     with_cfg.strategies.reputation = true;
     SystemConfig without_cfg = with_cfg;
     without_cfg.strategies.reputation = false;

@@ -108,14 +108,9 @@ util::Table failure_rate_sweep(TestbedProfile profile,
                                const std::vector<double>& failure_fractions,
                                const ExperimentScale& scale);
 
-// ---- Chaos: mixed-fault intensity sweep -----------------------------------
-/// Generates a seeded FaultPlan (crashes, slow nodes, partitions, update
-/// channel loss/delay bursts, probe blackholes) at each total arrival rate
-/// and reports QoS alongside the recovery metrics — MTTR, fault-driven
-/// cloud-fallback residency, sessions interrupted. The schedule honours
-/// the CLOUDFOG_FAULT_SEED override for replay.
-util::Table chaos_sweep(TestbedProfile profile, const std::vector<double>& faults_per_hour,
-                        const ExperimentScale& scale);
+// The mixed-fault chaos sweep moved to scenario::chaos_sweep_table
+// (src/scenario/scenario_engine.hpp) — it is one scenario-engine run per
+// intensity now.
 
 // ---- Ablation: candidate-list size k --------------------------------------
 /// §3.2.1's cloud returns "a number of supernodes"; this sweeps that

@@ -1,9 +1,16 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
+
 namespace cloudfog::core {
 
 void MetricsCollector::record_subcycle(const SubcycleQos& qos, bool warmup) {
+  // Roll the migration-storm window at every subcycle boundary; warm-up
+  // windows reset the count without competing for the peak.
+  const std::uint64_t window_migrations = subcycle_migrations_;
+  subcycle_migrations_ = 0;
   if (warmup) return;
+  metrics_.migration_storm_peak = std::max(metrics_.migration_storm_peak, window_migrations);
   ++recorded_subcycles_;
   metrics_.cloud_egress_mbps.add(qos.cloud_egress_mbps);
   metrics_.online_sessions.add(static_cast<double>(qos.online_sessions));
@@ -85,6 +92,7 @@ obs::RunSummary summarize_run(const RunMetrics& m, std::string label,
       counter_of("sessions_interrupted", m.sessions_interrupted),
       counter_of("cloud_fallbacks", m.fallbacks),
       counter_of("fog_returns", m.fog_returns),
+      counter_of("migration_storm_peak", m.migration_storm_peak),
   };
   return run;
 }

@@ -39,6 +39,10 @@ struct RunMetrics {
   std::uint64_t sessions_interrupted = 0;
   std::uint64_t fallbacks = 0;    ///< fault-driven degradations to the cloud
   std::uint64_t fog_returns = 0;  ///< fallback sessions recovered to fog
+  /// Largest number of migrations inside any single measured subcycle —
+  /// the "migration storm" size a regional outage or mass withdrawal can
+  /// trigger (scenario acceptance envelopes bound it).
+  std::uint64_t migration_storm_peak = 0;
 };
 
 class MetricsCollector {
@@ -52,7 +56,10 @@ class MetricsCollector {
   void record_supernode_join(double latency_ms) {
     metrics_.supernode_join_latency_ms.add(latency_ms);
   }
-  void record_migration(double latency_ms) { metrics_.migration_latency_ms.add(latency_ms); }
+  void record_migration(double latency_ms) {
+    metrics_.migration_latency_ms.add(latency_ms);
+    ++subcycle_migrations_;
+  }
   void record_server_assignment(double seconds) {
     metrics_.server_assignment_seconds.add(seconds);
   }
@@ -74,6 +81,9 @@ class MetricsCollector {
  private:
   RunMetrics metrics_;
   std::size_t recorded_subcycles_ = 0;
+  /// Migrations since the last subcycle boundary (rolled into
+  /// migration_storm_peak by record_subcycle).
+  std::uint64_t subcycle_migrations_ = 0;
 };
 
 /// Flattens a run's metrics into the observability run-report form: every

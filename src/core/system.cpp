@@ -122,14 +122,19 @@ System::System(const Testbed& testbed, SystemConfig cfg, std::uint64_t seed)
       }
     }
 
-    // §3.6 extension: malicious supernodes that hold back video packets.
-    if (cfg_.malicious.fraction > 0.0) {
-      util::Rng mal_rng = rng_.fork("malicious");
-      for (auto& sn : fleet_) {
-        if (mal_rng.chance(cfg_.malicious.fraction)) {
-          sn.sabotage_delay_ms = cfg_.malicious.delay_ms;
-        }
-      }
+    // §3.6 extension: adversarial supernodes. The legacy MaliciousConfig
+    // is a fixed-delay adversary; the translation preserves its exact
+    // "malicious" fork + per-slot Bernoulli stream, so historical runs
+    // replay byte-identically.
+    scenario::AdversaryConfig adv = cfg_.adversary;
+    if (adv.kind == scenario::AdversaryKind::kNone && cfg_.malicious.fraction > 0.0) {
+      adv.kind = scenario::AdversaryKind::kFixedDelay;
+      adv.fraction = cfg_.malicious.fraction;
+      adv.delay_ms = cfg_.malicious.delay_ms;
+    }
+    if (adv.active()) {
+      adversary_ =
+          std::make_unique<scenario::AdversaryModel>(adv, fleet_, rng_.fork("malicious"));
     }
 
     if (!fleet_.empty()) {
@@ -335,6 +340,7 @@ void System::apply_throttling(int day) {
 void System::begin_cycle(int day) {
   if (cfg_.workload == WorkloadMode::kDailySessions) roll_daily_sessions(day);
   if (cfg_.architecture == Architecture::kCloudFog) apply_throttling(day);
+  if (adversary_ != nullptr) adversary_->begin_cycle(day, fleet_, players_);
 
   // Weekly social reassignment (§3.4 "runs periodically (e.g., weekly)").
   if (cfg_.strategies.social_assignment && day > 1 &&
@@ -445,11 +451,19 @@ void System::process_population(int day, int subcycle, bool peak) {
   for (std::size_t i = 0; i < players_.size(); ++i) {
     PlayerState& p = players_[i];
     if (!p.online) continue;
-    if (--remaining_subcycles_[i] <= 0) detach_player(p);
+    if (--remaining_subcycles_[i] <= 0) {
+      detach_player(p);
+      continue;
+    }
+    // Fault-layer runs keep the §3.2.2 hourly probing: fallback sessions
+    // look for a fog return exactly like the daily workload does. Gated on
+    // the injector so fault-free arrival runs (Figs. 13–15) stay
+    // byte-identical to the pre-scenario-engine stream.
+    if (injector_ != nullptr) retry_cloud_fallback(p, day);
   }
 
-  const double rate_per_min =
-      peak ? cfg_.arrivals.peak_per_minute : cfg_.arrivals.offpeak_per_minute;
+  const double rate_per_min = arrival_rate_override_.value_or(
+      peak ? cfg_.arrivals.peak_per_minute : cfg_.arrivals.offpeak_per_minute);
   util::Rng arr_rng = rng_.fork("arrivals");
   int arrivals = util::sample_poisson(arr_rng, rate_per_min * 60.0);
 
@@ -463,13 +477,57 @@ void System::process_population(int day, int subcycle, bool peak) {
     PlayerState& p = players_[idx];
     if (p.online) continue;
     util::Rng roll_rng = rng_.fork("arrival-roll");
-    p.game = testbed_.activity().choose_game(testbed_.catalog(), {}, roll_rng);
+    p.game = game_mix_.empty()
+                 ? testbed_.activity().choose_game(testbed_.catalog(), {}, roll_rng)
+                 : choose_game_from_mix(roll_rng);
     const double hours =
         testbed_.activity().sample_play_hours(p.info.duration_class, roll_rng);
     remaining_subcycles_[idx] = std::max(1, static_cast<int>(std::ceil(hours)));
     attach_player(p, day);
     --arrivals;
   }
+}
+
+game::GameId System::choose_game_from_mix(util::Rng& rng) const {
+  // Cumulative draw over the scenario's weights; indices past the weight
+  // list (or with non-positive weight) are never chosen.
+  const std::size_t games =
+      std::min(game_mix_.size(), testbed_.catalog().size());
+  double total = 0.0;
+  for (std::size_t g = 0; g < games; ++g) total += std::max(0.0, game_mix_[g]);
+  CLOUDFOG_REQUIRE(total > 0.0, "game mix has no positive weight");
+  double u = rng.next_double() * total;
+  for (std::size_t g = 0; g < games; ++g) {
+    u -= std::max(0.0, game_mix_[g]);
+    if (u < 0.0) return static_cast<game::GameId>(g);
+  }
+  return static_cast<game::GameId>(games - 1);
+}
+
+std::size_t System::force_departures(double fraction) {
+  if (fraction <= 0.0) return 0;
+  util::Rng dep_rng = rng_.fork("storm-departures");
+  std::size_t departed = 0;
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    PlayerState& p = players_[i];
+    if (!p.online || !dep_rng.chance(fraction)) continue;
+    remaining_subcycles_[i] = 0;
+    detach_player(p);
+    ++departed;
+  }
+  return departed;
+}
+
+std::size_t System::drain_sessions() {
+  std::size_t drained = 0;
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    PlayerState& p = players_[i];
+    if (!p.online) continue;
+    remaining_subcycles_[i] = 0;
+    detach_player(p);
+    ++drained;
+  }
+  return drained;
 }
 
 void System::retry_cloud_fallback(PlayerState& p, int day) {

@@ -23,6 +23,7 @@
 #include "core/qos_engine.hpp"
 #include "core/testbed.hpp"
 #include "fault/fault.hpp"
+#include "scenario/adversary.hpp"
 #include "sim/cycle_driver.hpp"
 #include "sim/simulator.hpp"
 #include "social/community_partitioner.hpp"
@@ -62,6 +63,10 @@ struct ThrottlingConfig {
 };
 
 /// §3.6 extension: adversarial supernodes that deliberately delay video.
+/// Legacy alias for a fixed-delay adversary — a non-zero fraction here is
+/// translated into scenario::AdversaryConfig{kFixedDelay} at construction
+/// (same rng stream, byte-identical runs). New code should configure
+/// SystemConfig::adversary directly.
 struct MaliciousConfig {
   double fraction = 0.0;       ///< share of the fleet that is malicious
   double delay_ms = 80.0;      ///< deliberate per-packet hold-back
@@ -77,6 +82,9 @@ struct SystemConfig {
   ProvisionerConfig provisioning;
   ThrottlingConfig throttling;
   MaliciousConfig malicious;
+  /// Adversarial supernode behaviour (whitewashing, collusion, on-off…).
+  /// Takes precedence over `malicious` when its kind is not kNone.
+  scenario::AdversaryConfig adversary;
   video::RateAdapterConfig adapter;  ///< `enabled` is overwritten from strategies
 
   /// CDN serving bound: beyond this RTT a player falls back to the cloud.
@@ -137,6 +145,33 @@ class System {
   SubcycleQos run_subcycle(int day, int subcycle, bool warmup, bool peak);
   void end_cycle(int day);
 
+  // --- Scenario-engine hooks (src/scenario). All of them perturb the rng
+  // stream only when actually exercised, so a System that never sees a
+  // scenario stays byte-identical to one built before this layer existed.
+
+  /// Overrides the arrival-rate workload's per-minute rate for subsequent
+  /// subcycles (nullopt restores the configured peak/off-peak rates).
+  /// Setting a rate of 0 pauses arrivals entirely.
+  void set_arrival_rate_override(std::optional<double> per_minute) {
+    arrival_rate_override_ = per_minute;
+  }
+
+  /// Mass-churn burst: each online player leaves with probability
+  /// `fraction`. Returns the number of departures.
+  std::size_t force_departures(double fraction);
+
+  /// Weighted game choice for the arrival-rate workload: weights[g] biases
+  /// catalog game g (missing entries weigh 0). Empty restores the activity
+  /// model's popularity distribution.
+  void set_game_mix(std::vector<double> weights) { game_mix_ = std::move(weights); }
+
+  /// Ends every live session (end-of-run accounting for arrival-rate
+  /// workloads, so joins == leaves holds). Returns sessions ended.
+  std::size_t drain_sessions();
+
+  /// The adversary driving this run, if any.
+  const scenario::AdversaryModel* adversary() const { return adversary_.get(); }
+
   /// Fig. 9: fails `count` random serving supernodes and migrates their
   /// players; returns one migration latency per displaced player.
   std::vector<double> inject_supernode_failures(std::size_t count, int day);
@@ -162,6 +197,7 @@ class System {
  private:
   void roll_daily_sessions(int day);
   void apply_throttling(int day);
+  game::GameId choose_game_from_mix(util::Rng& rng) const;
   void process_population(int day, int subcycle, bool peak);
   void attach_player(PlayerState& p, int day);
   void retry_cloud_fallback(PlayerState& p, int day);
@@ -210,8 +246,14 @@ class System {
   util::Rng fault_rng_;
   int current_day_ = 1;  ///< day seen by the crash hooks for rating decay
 
+  // Adversary (legacy MaliciousConfig is translated into one at
+  // construction; null when neither is configured).
+  std::unique_ptr<scenario::AdversaryModel> adversary_;
+
   // Arrival-rate workload state.
   std::vector<int> remaining_subcycles_;  ///< per player; 0 = offline
+  std::optional<double> arrival_rate_override_;  ///< scenario load shaping
+  std::vector<double> game_mix_;                 ///< scenario workload mix
   // Provisioning window accumulation.
   double window_online_sum_ = 0.0;
   int window_subcycles_ = 0;

@@ -33,13 +33,34 @@ double draw_duration(const FaultPlanConfig& cfg, util::Rng& rng) {
   return std::max(d, 60.0);
 }
 
-std::size_t draw_supernode(const FaultPlanConfig& cfg, util::Rng& rng) {
+/// Supernode indices random victims are drawn from: the in-box subset when
+/// a target box selects one, the whole fleet otherwise (empty = whole).
+std::vector<std::size_t> victim_pool(const FaultPlanConfig& cfg) {
+  if (!cfg.target_box.has_value() || cfg.positions.empty()) return {};
+  return nodes_in_box(cfg.positions, *cfg.target_box);
+}
+
+std::size_t draw_supernode(const FaultPlanConfig& cfg,
+                           const std::vector<std::size_t>& pool, util::Rng& rng) {
+  if (!pool.empty()) {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  }
   if (cfg.supernode_count == 0) return kAnyTarget;
   return static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(cfg.supernode_count) - 1));
 }
 
 }  // namespace
+
+std::vector<std::size_t> nodes_in_box(const std::vector<NodePosition>& positions,
+                                      const GeoBox& box) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (box.contains(positions[i].x_km, positions[i].y_km)) out.push_back(i);
+  }
+  return out;
+}
 
 const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
@@ -78,6 +99,7 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& cfg) {
                        util::hash64(label));
     };
     const auto kind_rate = [&](double weight) { return rate_s * weight / mix_total; };
+    const std::vector<std::size_t> pool = victim_pool(cfg);
 
     walk_arrivals(cfg.horizon_s, kind_rate(cfg.mix.crash), kind_rng("crash"),
                   plan.specs_, [&](double t, util::Rng& rng) {
@@ -85,7 +107,10 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& cfg) {
                     s.kind = FaultKind::kSupernodeCrash;
                     s.at_s = t;
                     s.duration_s = draw_duration(cfg, rng);
-                    s.target = kAnyTarget;  // resolved to a serving node at apply time
+                    // Unboxed plans defer to the executor (it prefers a
+                    // serving victim); a geo-boxed plan must name an in-box
+                    // node or the correlation is lost.
+                    s.target = pool.empty() ? kAnyTarget : draw_supernode(cfg, pool, rng);
                     return s;
                   });
     walk_arrivals(cfg.horizon_s, kind_rate(cfg.mix.slow_node), kind_rng("slow"),
@@ -94,7 +119,7 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& cfg) {
                     s.kind = FaultKind::kSlowNode;
                     s.at_s = t;
                     s.duration_s = draw_duration(cfg, rng);
-                    s.target = draw_supernode(cfg, rng);
+                    s.target = draw_supernode(cfg, pool, rng);
                     s.magnitude = cfg.slow_ms;
                     return s;
                   });
@@ -136,7 +161,7 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& cfg) {
                     s.kind = FaultKind::kProbeBlackhole;
                     s.at_s = t;
                     s.duration_s = draw_duration(cfg, rng);
-                    s.target = draw_supernode(cfg, rng);
+                    s.target = draw_supernode(cfg, pool, rng);
                     return s;
                   });
   }
@@ -153,6 +178,50 @@ FaultPlan FaultPlan::from_specs(std::vector<FaultSpec> specs) {
   FaultPlan plan;
   plan.specs_ = std::move(specs);
   return plan;
+}
+
+std::vector<FaultSpec> regional_outage_specs(const std::vector<NodePosition>& positions,
+                                             const GeoBox& box, double at_s,
+                                             double duration_s, double crash_fraction,
+                                             double loss_fraction, double delay_ms,
+                                             std::uint64_t seed) {
+  CLOUDFOG_REQUIRE(crash_fraction >= 0.0 && crash_fraction <= 1.0,
+                   "crash fraction must be within [0, 1]");
+  CLOUDFOG_REQUIRE(loss_fraction >= 0.0 && loss_fraction <= 1.0,
+                   "loss fraction must be within [0, 1]");
+  std::vector<std::size_t> in_box = nodes_in_box(positions, box);
+  if (in_box.empty()) return {};
+
+  std::vector<FaultSpec> specs;
+  util::Rng rng(util::splitmix64(seed ^ util::hash64("outage")), util::hash64("outage"));
+  std::shuffle(in_box.begin(), in_box.end(), rng);
+  const auto victims = static_cast<std::size_t>(
+      std::ceil(crash_fraction * static_cast<double>(in_box.size())));
+  for (std::size_t i = 0; i < victims; ++i) {
+    FaultSpec s;
+    s.kind = FaultKind::kSupernodeCrash;
+    s.at_s = at_s;
+    s.duration_s = duration_s;
+    s.target = in_box[i];
+    specs.push_back(s);
+  }
+  if (loss_fraction > 0.0) {
+    FaultSpec s;
+    s.kind = FaultKind::kPacketLossBurst;
+    s.at_s = at_s;
+    s.duration_s = duration_s;
+    s.magnitude = loss_fraction;
+    specs.push_back(s);
+  }
+  if (delay_ms > 0.0) {
+    FaultSpec s;
+    s.kind = FaultKind::kMessageDelayBurst;
+    s.at_s = at_s;
+    s.duration_s = duration_s;
+    s.magnitude = delay_ms;
+    specs.push_back(s);
+  }
+  return specs;
 }
 
 std::uint64_t fault_seed_from_env(std::uint64_t fallback) {

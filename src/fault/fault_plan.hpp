@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "obs/note_table.hpp"
@@ -64,6 +65,34 @@ struct FaultMix {
   }
 };
 
+/// Axis-aligned geographic box on the simulation plane, in kilometres.
+/// Used to select correlated fault victims ("the ISP serving this region
+/// went down") instead of uniform-random fleet members.
+struct GeoBox {
+  double x0_km = 0.0;
+  double y0_km = 0.0;
+  double x1_km = 0.0;
+  double y1_km = 0.0;
+
+  bool contains(double x_km, double y_km) const {
+    return x_km >= x0_km && x_km <= x1_km && y_km >= y0_km && y_km <= y1_km;
+  }
+  double center_x_km() const { return 0.5 * (x0_km + x1_km); }
+  double center_y_km() const { return 0.5 * (y0_km + y1_km); }
+};
+
+/// A supernode's position on the plane, indexed like the fleet. The fault
+/// layer cannot depend on net::GeoPoint (it sits below net), so it keeps
+/// its own coordinate pair.
+struct NodePosition {
+  double x_km = 0.0;
+  double y_km = 0.0;
+};
+
+/// Indices of the positions that fall inside `box`, ascending.
+std::vector<std::size_t> nodes_in_box(const std::vector<NodePosition>& positions,
+                                      const GeoBox& box);
+
 struct FaultPlanConfig {
   /// Master switch. When false the injector is never constructed and the
   /// simulation byte-for-byte matches a build without the fault layer.
@@ -89,6 +118,14 @@ struct FaultPlanConfig {
   /// Hand-written specs merged into the generated schedule (used by
   /// failure_rate_sweep to express exact per-cycle crash bursts).
   std::vector<FaultSpec> extra_specs;
+  /// Geographic victim selection. When `target_box` is set, generated
+  /// faults that name a random supernode victim (crash, slow node, probe
+  /// blackhole) draw uniformly from the supernodes whose `positions` entry
+  /// falls inside the box instead of the whole fleet. `positions` is
+  /// indexed like the fleet; an empty vector or a box containing no nodes
+  /// falls back to whole-fleet selection.
+  std::vector<NodePosition> positions;
+  std::optional<GeoBox> target_box;
 };
 
 class FaultPlan {
@@ -108,6 +145,18 @@ class FaultPlan {
  private:
   std::vector<FaultSpec> specs_;
 };
+
+/// Compiles a correlated regional-outage burst ("the ISP serving this box
+/// went dark"): `crash_fraction` of the in-box supernodes crash at `at_s`
+/// and recover when the outage lifts, and the cloud→supernode update
+/// channel suffers a loss + delay burst for the duration. Victim choice is
+/// seeded, so the same (positions, box, seed) triple always fails the same
+/// nodes. Returns an empty vector when the box contains no nodes.
+std::vector<FaultSpec> regional_outage_specs(const std::vector<NodePosition>& positions,
+                                             const GeoBox& box, double at_s,
+                                             double duration_s, double crash_fraction,
+                                             double loss_fraction, double delay_ms,
+                                             std::uint64_t seed);
 
 /// Resolves the effective plan seed: the CLOUDFOG_FAULT_SEED environment
 /// variable wins (so CI logs reproduce locally), else `fallback`.

@@ -53,6 +53,8 @@ std::size_t ReputationStore::rating_count(SupernodeId sn) const {
   return it == ratings_.end() ? 0 : it->second.size();
 }
 
+void ReputationStore::forget(SupernodeId sn) { ratings_.erase(sn); }
+
 std::vector<SupernodeId> ReputationStore::rated_supernodes() const {
   std::vector<SupernodeId> out;
   out.reserve(ratings_.size());

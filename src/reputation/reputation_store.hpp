@@ -43,6 +43,12 @@ class ReputationStore {
   /// Number of retained ratings for `sn`.
   std::size_t rating_count(SupernodeId sn) const;
 
+  /// Erases every rating of `sn`: the supernode identity disappeared and
+  /// a fresh one took its place (whitewashing — §3.2.1's defence is that
+  /// the reborn identity scores 0 like any unknown, losing whatever good
+  /// standing the old identity had accumulated).
+  void forget(SupernodeId sn);
+
   /// Supernodes with at least one rating.
   std::vector<SupernodeId> rated_supernodes() const;
 

@@ -1,0 +1,94 @@
+#include "scenario/adversary.hpp"
+
+#include "util/require.hpp"
+
+namespace cloudfog::scenario {
+
+const char* adversary_kind_name(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kFixedDelay: return "fixed_delay";
+    case AdversaryKind::kOnOff: return "on_off";
+    case AdversaryKind::kWhitewash: return "whitewash";
+    case AdversaryKind::kCollusion: return "collusion";
+  }
+  return "unknown";
+}
+
+bool adversary_kind_from_name(std::string_view name, AdversaryKind* out) {
+  if (name == "none") *out = AdversaryKind::kNone;
+  else if (name == "fixed_delay") *out = AdversaryKind::kFixedDelay;
+  else if (name == "on_off") *out = AdversaryKind::kOnOff;
+  else if (name == "whitewash") *out = AdversaryKind::kWhitewash;
+  else if (name == "collusion") *out = AdversaryKind::kCollusion;
+  else return false;
+  return true;
+}
+
+AdversaryModel::AdversaryModel(const AdversaryConfig& cfg,
+                               std::vector<core::SupernodeState>& fleet, util::Rng rng)
+    : cfg_(cfg) {
+  CLOUDFOG_REQUIRE(cfg_.fraction >= 0.0 && cfg_.fraction <= 1.0,
+                   "adversary fraction must be within [0, 1]");
+  CLOUDFOG_REQUIRE(cfg_.period_cycles >= 1 && cfg_.on_cycles >= 0,
+                   "on-off periods must be positive");
+  CLOUDFOG_REQUIRE(cfg_.whitewash_period_cycles >= 1, "whitewash period must be positive");
+  CLOUDFOG_REQUIRE(cfg_.ring_count >= 1, "collusion needs at least one ring");
+
+  member_.assign(fleet.size(), 0);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (!rng.chance(cfg_.fraction)) continue;
+    member_[i] = 1;
+    member_ids_.push_back(i);
+    // Always-on kinds sabotage from day one; the phased kinds set their
+    // cycle-1 behaviour in begin_cycle before any selection runs.
+    if (cfg_.kind == AdversaryKind::kFixedDelay || cfg_.kind == AdversaryKind::kWhitewash) {
+      fleet[i].sabotage_delay_ms = cfg_.delay_ms;
+    }
+  }
+  // Round-robin ring assignment: deterministic, roughly equal rings.
+  ring_of_.resize(member_ids_.size());
+  for (std::size_t m = 0; m < member_ids_.size(); ++m) {
+    ring_of_[m] = m % static_cast<std::size_t>(cfg_.ring_count);
+  }
+}
+
+void AdversaryModel::begin_cycle(int day, std::vector<core::SupernodeState>& fleet,
+                                 std::vector<core::PlayerState>& players) {
+  switch (cfg_.kind) {
+    case AdversaryKind::kNone:
+    case AdversaryKind::kFixedDelay:
+      break;
+    case AdversaryKind::kOnOff: {
+      const bool on = (day - 1) % cfg_.period_cycles < cfg_.on_cycles;
+      for (std::size_t id : member_ids_) {
+        fleet[id].sabotage_delay_ms = on ? cfg_.delay_ms : 0.0;
+      }
+      break;
+    }
+    case AdversaryKind::kWhitewash: {
+      // Rebirth day: every member sheds its identity, so the ratings the
+      // victims accumulated vanish and the "new" node scores 0 (unknown)
+      // instead of its earned bad score.
+      if (day > 1 && (day - 1) % cfg_.whitewash_period_cycles == 0) {
+        for (auto& p : players) {
+          for (std::size_t id : member_ids_) p.reputation.forget(id);
+        }
+      }
+      break;
+    }
+    case AdversaryKind::kCollusion: {
+      // One ring attacks per cycle while the rest behave, keeping the
+      // coalition's age-weighted scores high enough to stay selectable.
+      const auto active_ring =
+          static_cast<std::size_t>((day - 1) % cfg_.ring_count);
+      for (std::size_t m = 0; m < member_ids_.size(); ++m) {
+        fleet[member_ids_[m]].sabotage_delay_ms =
+            ring_of_[m] == active_ring ? cfg_.delay_ms : 0.0;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace cloudfog::scenario

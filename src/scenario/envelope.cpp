@@ -1,0 +1,80 @@
+#include "scenario/envelope.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cloudfog::scenario {
+
+void AcceptanceEnvelope::require_min(std::string metric, double min) {
+  for (EnvelopeBound& b : bounds_) {
+    if (b.metric == metric) {
+      b.min = min;
+      return;
+    }
+  }
+  bounds_.push_back(EnvelopeBound{std::move(metric), min, std::nullopt});
+}
+
+void AcceptanceEnvelope::require_max(std::string metric, double max) {
+  for (EnvelopeBound& b : bounds_) {
+    if (b.metric == metric) {
+      b.max = max;
+      return;
+    }
+  }
+  bounds_.push_back(EnvelopeBound{std::move(metric), std::nullopt, max});
+}
+
+EnvelopeReport AcceptanceEnvelope::check(const std::vector<ScenarioMetric>& metrics) const {
+  EnvelopeReport report;
+  for (const EnvelopeBound& bound : bounds_) {
+    BoundCheck check;
+    check.bound = bound;
+    for (const ScenarioMetric& m : metrics) {
+      if (m.name == bound.metric) {
+        check.metric_found = true;
+        check.value = m.value;
+        break;
+      }
+    }
+    if (!check.metric_found) {
+      check.passed = false;
+      check.margin = -std::numeric_limits<double>::infinity();
+    } else {
+      check.margin = std::numeric_limits<double>::infinity();
+      if (bound.min) check.margin = std::min(check.margin, check.value - *bound.min);
+      if (bound.max) check.margin = std::min(check.margin, *bound.max - check.value);
+      if (!bound.min && !bound.max) check.margin = 0.0;  // vacuous bound
+      check.passed = check.margin >= 0.0;
+    }
+    report.passed = report.passed && check.passed;
+    report.checks.push_back(std::move(check));
+  }
+  report.min_margin = 0.0;
+  for (std::size_t i = 0; i < report.checks.size(); ++i) {
+    report.min_margin =
+        i == 0 ? report.checks[i].margin : std::min(report.min_margin, report.checks[i].margin);
+  }
+  return report;
+}
+
+const std::vector<std::string>& scenario_metric_names() {
+  static const std::vector<std::string> kNames = {
+      "continuity",        "latency_ms",         "satisfied_pct",
+      "mos",               "cloud_egress_mbps",  "fog_served_pct",
+      "online_mean",       "cloud_fallback_pct", "fallbacks",
+      "fog_returns",       "migrations",         "migration_storm",
+      "mttr_s",            "interrupted",        "joins",
+      "adversary_served_pct", "reputation_fp_pct",
+  };
+  return kNames;
+}
+
+bool is_scenario_metric(std::string_view name) {
+  for (const std::string& n : scenario_metric_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace cloudfog::scenario

@@ -1,0 +1,71 @@
+// Acceptance envelopes: machine-checked bounds on a scenario's outcome.
+//
+// Every bundled scenario ships an AcceptanceEnvelope — "under this flash
+// crowd, continuity stays above 0.90 and no migration storm exceeds 500
+// moves per subcycle". The engine evaluates the bounds against the
+// scenario's aggregated metrics and reports a signed margin per bound, so
+// CI can fail a regression *and* the trend store can watch headroom erode
+// long before the hard bound trips.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudfog::scenario {
+
+/// One named scalar a scenario run produced (see scenario_metric_names()
+/// for the full vocabulary the engine emits).
+struct ScenarioMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A bound on one metric: any of min/max may be set.
+struct EnvelopeBound {
+  std::string metric;
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
+/// One evaluated bound. `margin` is the distance to the nearest violated
+/// edge in the metric's own units: positive = headroom, negative = how far
+/// outside the envelope the run landed. A bound whose metric the run never
+/// produced fails with `metric_found == false`.
+struct BoundCheck {
+  EnvelopeBound bound;
+  double value = 0.0;
+  double margin = 0.0;
+  bool metric_found = false;
+  bool passed = false;
+};
+
+struct EnvelopeReport {
+  std::vector<BoundCheck> checks;
+  bool passed = true;        ///< all bounds held (vacuously true when empty)
+  double min_margin = 0.0;   ///< tightest margin across checks (0 when empty)
+};
+
+class AcceptanceEnvelope {
+ public:
+  void require_min(std::string metric, double min);
+  void require_max(std::string metric, double max);
+  void require(EnvelopeBound bound) { bounds_.push_back(std::move(bound)); }
+
+  const std::vector<EnvelopeBound>& bounds() const { return bounds_; }
+  bool empty() const { return bounds_.empty(); }
+
+  EnvelopeReport check(const std::vector<ScenarioMetric>& metrics) const;
+
+ private:
+  std::vector<EnvelopeBound> bounds_;
+};
+
+/// The metric vocabulary ScenarioEngine emits, in emission order. The
+/// scenario-file parser rejects envelope bounds on anything else, so a
+/// typo in a config fails at load time instead of silently passing.
+const std::vector<std::string>& scenario_metric_names();
+bool is_scenario_metric(std::string_view name);
+
+}  // namespace cloudfog::scenario

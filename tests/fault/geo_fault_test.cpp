@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fault/fault_plan.hpp"
+
+namespace cloudfog::fault {
+namespace {
+
+std::vector<NodePosition> grid_positions(std::size_t side, double spacing_km) {
+  std::vector<NodePosition> positions;
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      positions.push_back({static_cast<double>(x) * spacing_km,
+                           static_cast<double>(y) * spacing_km});
+    }
+  }
+  return positions;
+}
+
+bool specs_equal(const FaultSpec& a, const FaultSpec& b) {
+  return a.kind == b.kind && a.at_s == b.at_s && a.duration_s == b.duration_s &&
+         a.target == b.target && a.target_b == b.target_b && a.magnitude == b.magnitude;
+}
+
+TEST(GeoBox, ContainsIsInclusive) {
+  const GeoBox box{100.0, 200.0, 300.0, 400.0};
+  EXPECT_TRUE(box.contains(100.0, 200.0));  // corners belong to the box
+  EXPECT_TRUE(box.contains(300.0, 400.0));
+  EXPECT_TRUE(box.contains(150.0, 350.0));
+  EXPECT_FALSE(box.contains(99.9, 300.0));
+  EXPECT_FALSE(box.contains(150.0, 400.1));
+  EXPECT_EQ(box.center_x_km(), 200.0);
+  EXPECT_EQ(box.center_y_km(), 300.0);
+}
+
+TEST(NodesInBox, SelectsExactlyTheInteriorAscending) {
+  // 4x4 grid at 100 km spacing; the box covers x,y in [100, 200].
+  const auto positions = grid_positions(4, 100.0);
+  const auto in = nodes_in_box(positions, GeoBox{100.0, 100.0, 200.0, 200.0});
+  EXPECT_EQ(in, (std::vector<std::size_t>{5, 6, 9, 10}));
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(NodesInBox, EmptyBoxOrEmptyPositions) {
+  const auto positions = grid_positions(3, 100.0);
+  EXPECT_TRUE(nodes_in_box(positions, GeoBox{5000.0, 5000.0, 6000.0, 6000.0}).empty());
+  EXPECT_TRUE(nodes_in_box({}, GeoBox{0.0, 0.0, 1000.0, 1000.0}).empty());
+}
+
+TEST(GeoFaultPlan, BoxedPlansPickOnlyInBoxSupernodeVictims) {
+  FaultPlanConfig cfg;
+  cfg.enabled = true;
+  cfg.horizon_s = 48.0 * 3600.0;
+  cfg.faults_per_hour = 4.0;
+  cfg.supernode_count = 16;
+  cfg.region_count = 4;
+  cfg.seed = 777;
+  cfg.positions = grid_positions(4, 100.0);
+  cfg.target_box = GeoBox{100.0, 100.0, 200.0, 200.0};
+
+  const auto in_box =
+      nodes_in_box(cfg.positions, *cfg.target_box);  // {5, 6, 9, 10}
+  const std::set<std::size_t> allowed(in_box.begin(), in_box.end());
+  const FaultPlan plan = FaultPlan::generate(cfg);
+  ASSERT_FALSE(plan.empty());
+  std::size_t node_faults = 0;
+  for (const FaultSpec& spec : plan.specs()) {
+    // Only the kinds that name a random supernode victim are geo-steered;
+    // partitions name regions and bursts hit the shared update channel.
+    if (spec.kind != FaultKind::kSupernodeCrash && spec.kind != FaultKind::kSlowNode &&
+        spec.kind != FaultKind::kProbeBlackhole) {
+      continue;
+    }
+    ++node_faults;
+    EXPECT_TRUE(allowed.count(spec.target) == 1)
+        << fault_kind_name(spec.kind) << " hit out-of-box node " << spec.target;
+  }
+  EXPECT_GT(node_faults, 0u);
+}
+
+TEST(GeoFaultPlan, UnboxedPlanUnchangedByPositionData) {
+  // Geo data must be inert until a box is set: same seed, same schedule.
+  FaultPlanConfig plain;
+  plain.enabled = true;
+  plain.horizon_s = 24.0 * 3600.0;
+  plain.faults_per_hour = 3.0;
+  plain.supernode_count = 16;
+  plain.region_count = 4;
+  plain.seed = 4242;
+
+  FaultPlanConfig with_positions = plain;
+  with_positions.positions = grid_positions(4, 100.0);
+
+  const FaultPlan a = FaultPlan::generate(plain);
+  const FaultPlan b = FaultPlan::generate(with_positions);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(specs_equal(a.specs()[i], b.specs()[i])) << "spec " << i;
+  }
+}
+
+TEST(RegionalOutage, CrashesTheRightFractionInsideTheBox) {
+  const auto positions = grid_positions(8, 50.0);  // 64 nodes
+  const GeoBox box{0.0, 0.0, 150.0, 350.0};        // 4 x 8 corner = 32 nodes
+  const auto in_box = nodes_in_box(positions, box);
+  ASSERT_EQ(in_box.size(), 32u);
+
+  const double at_s = 30.0 * 3600.0;
+  const double duration_s = 6.0 * 3600.0;
+  const auto specs =
+      regional_outage_specs(positions, box, at_s, duration_s, 0.75, 0.25, 120.0, 99);
+
+  const std::set<std::size_t> allowed(in_box.begin(), in_box.end());
+  std::set<std::size_t> crashed;
+  std::size_t loss_bursts = 0;
+  std::size_t delay_bursts = 0;
+  for (const FaultSpec& spec : specs) {
+    EXPECT_EQ(spec.at_s, at_s);
+    EXPECT_EQ(spec.duration_s, duration_s);
+    switch (spec.kind) {
+      case FaultKind::kSupernodeCrash:
+        EXPECT_EQ(allowed.count(spec.target), 1u) << spec.target;
+        crashed.insert(spec.target);
+        break;
+      case FaultKind::kPacketLossBurst:
+        EXPECT_EQ(spec.magnitude, 0.25);
+        ++loss_bursts;
+        break;
+      case FaultKind::kMessageDelayBurst:
+        EXPECT_EQ(spec.magnitude, 120.0);
+        ++delay_bursts;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected kind " << fault_kind_name(spec.kind);
+    }
+  }
+  // 0.75 of 32: the crash count is the rounded share of the box population.
+  EXPECT_EQ(crashed.size(), 24u);
+  EXPECT_EQ(loss_bursts, 1u);
+  EXPECT_EQ(delay_bursts, 1u);
+}
+
+TEST(RegionalOutage, SeededVictimChoiceIsStable) {
+  const auto positions = grid_positions(8, 50.0);
+  const GeoBox box{0.0, 0.0, 350.0, 150.0};
+  const auto a = regional_outage_specs(positions, box, 7200.0, 3600.0, 0.5, 0.3, 80.0, 5);
+  const auto b = regional_outage_specs(positions, box, 7200.0, 3600.0, 0.5, 0.3, 80.0, 5);
+  const auto c = regional_outage_specs(positions, box, 7200.0, 3600.0, 0.5, 0.3, 80.0, 6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(specs_equal(a[i], b[i])) << "spec " << i;
+  }
+  // A different seed fails a different subset (same size, same shape).
+  ASSERT_EQ(a.size(), c.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!specs_equal(a[i], c[i])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RegionalOutage, EmptyBoxYieldsNoFaults) {
+  const auto positions = grid_positions(4, 100.0);
+  const GeoBox desert{9000.0, 9000.0, 9500.0, 9500.0};
+  EXPECT_TRUE(
+      regional_outage_specs(positions, desert, 3600.0, 3600.0, 0.7, 0.25, 120.0, 1)
+          .empty());
+}
+
+}  // namespace
+}  // namespace cloudfog::fault

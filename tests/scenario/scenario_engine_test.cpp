@@ -1,0 +1,148 @@
+#include "scenario/scenario_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace cloudfog::scenario {
+namespace {
+
+/// A population small enough that every test runs in well under a second.
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "unit";
+  spec.players = 1200;
+  spec.supernodes = 80;
+  spec.cycles = 2;
+  spec.warmup = 1;
+  spec.seed = 42;
+  spec.base_arrival_per_minute = 6.0;
+  return spec;
+}
+
+TEST(ScenarioEngine, SameSpecReplaysIdentically) {
+  // The determinism contract: same spec + same seed => the same numbers,
+  // exactly. Cover the fault and adversary rng streams too.
+  ScenarioSpec spec = small_spec();
+  spec.adversary.kind = AdversaryKind::kOnOff;
+  spec.adversary.fraction = 0.2;
+  spec.outage.emplace();
+  spec.outage->start_hour = 26;
+  spec.outage->duration_hours = 3;
+  spec.outage->box = fault::GeoBox{0.0, 0.0, 2000.0, 1400.0};
+
+  const ScenarioOutcome a = ScenarioEngine(spec).run();
+  const ScenarioOutcome b = ScenarioEngine(spec).run();
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].name, b.metrics[i].name);
+    EXPECT_EQ(a.metrics[i].value, b.metrics[i].value) << a.metrics[i].name;
+  }
+  EXPECT_EQ(a.passed, b.passed);
+}
+
+TEST(ScenarioEngine, FlashCrowdRaisesTheOnlinePopulation) {
+  const ScenarioOutcome base = ScenarioEngine(small_spec()).run();
+
+  ScenarioSpec spec = small_spec();
+  spec.flash_crowd.emplace();
+  spec.flash_crowd->start_hour = 25;  // inside the single measured cycle
+  spec.flash_crowd->ramp_hours = 2;
+  spec.flash_crowd->plateau_hours = 4;
+  spec.flash_crowd->decay_hours = 4;
+  spec.flash_crowd->peak_per_minute = 40.0;
+  const ScenarioOutcome crowd = ScenarioEngine(spec).run();
+
+  EXPECT_GT(crowd.metric("joins"), base.metric("joins"));
+  EXPECT_GT(crowd.metric("online_mean"), base.metric("online_mean"));
+}
+
+TEST(ScenarioEngine, ChurnStormDrainsThePopulation) {
+  const ScenarioOutcome base = ScenarioEngine(small_spec()).run();
+
+  ScenarioSpec spec = small_spec();
+  spec.churn_storm.emplace();
+  spec.churn_storm->start_hour = 26;
+  spec.churn_storm->duration_hours = 6;
+  spec.churn_storm->departure_fraction = 0.8;
+  spec.churn_storm->pause_arrivals = true;
+  const ScenarioOutcome storm = ScenarioEngine(spec).run();
+
+  EXPECT_LT(storm.metric("online_mean"), base.metric("online_mean"));
+  // Paused arrivals mean fewer joins over the same horizon.
+  EXPECT_LT(storm.metric("joins"), base.metric("joins"));
+}
+
+TEST(ScenarioEngine, RegionalOutageInterruptsSessions) {
+  ScenarioSpec spec = small_spec();
+  spec.base_arrival_per_minute = 10.0;
+  spec.outage.emplace();
+  spec.outage->start_hour = 26;
+  spec.outage->duration_hours = 3;
+  spec.outage->box = fault::GeoBox{0.0, 0.0, 2000.0, 1400.0};
+  spec.outage->crash_fraction = 0.7;
+  const ScenarioOutcome out = ScenarioEngine(spec).run();
+
+  EXPECT_GT(out.metric("interrupted"), 0.0);
+  EXPECT_GT(out.metric("migration_storm"), 0.0);
+  // The base run is fault-free, so every interruption above came from the
+  // compiled outage specs.
+  const ScenarioOutcome base = ScenarioEngine(small_spec()).run();
+  EXPECT_EQ(base.metric("interrupted"), 0.0);
+  EXPECT_EQ(base.metric("fallbacks"), 0.0);
+}
+
+TEST(ScenarioEngine, EnvelopeVerdictGatesTheOutcome) {
+  ScenarioSpec good = small_spec();
+  good.envelope.require_min("continuity", 0.0);
+  good.envelope.require_max("latency_ms", 10000.0);
+  const ScenarioOutcome pass = ScenarioEngine(good).run();
+  EXPECT_TRUE(pass.passed);
+  EXPECT_GT(pass.envelope.min_margin, 0.0);
+
+  ScenarioSpec bad = small_spec();
+  bad.envelope.require_min("continuity", 2.0);  // continuity can never exceed 1
+  const ScenarioOutcome fail = ScenarioEngine(bad).run();
+  EXPECT_FALSE(fail.passed);
+  EXPECT_LT(fail.envelope.min_margin, 0.0);
+}
+
+TEST(ScenarioEngine, SmokeClampAndOverrides) {
+  ScenarioSpec spec = small_spec();
+  spec.players = 50000;
+  spec.cycles = 10;
+  spec.warmup = 8;
+  spec.system_seed = 99;
+
+  ScenarioRunOptions opts;
+  opts.smoke = true;
+  opts.reputation_override = false;
+  opts.seed_override = 7;
+  const ScenarioEngine engine(spec, opts);
+  EXPECT_EQ(engine.spec().players, 4000u);
+  EXPECT_EQ(engine.spec().cycles, 4);
+  EXPECT_EQ(engine.spec().warmup, 3);
+  EXPECT_FALSE(engine.spec().reputation);
+  EXPECT_EQ(engine.spec().seed, 7u);
+  EXPECT_EQ(engine.spec().system_seed, 0u);  // override re-roots both seeds
+}
+
+TEST(ScenarioEngine, OutcomeMetricLookup) {
+  ScenarioOutcome outcome;
+  outcome.metrics = {{"continuity", 0.9}, {"latency_ms", 80.0}};
+  EXPECT_EQ(outcome.metric("continuity"), 0.9);
+  EXPECT_EQ(outcome.metric("latency_ms"), 80.0);
+  EXPECT_EQ(outcome.metric("not_there"), 0.0);
+}
+
+TEST(ScenarioEngine, EnvelopeTableListsEveryBound) {
+  ScenarioSpec spec = small_spec();
+  spec.envelope.require_min("continuity", 0.1);
+  spec.envelope.require_max("latency_ms", 1000.0);
+  const ScenarioOutcome out = ScenarioEngine(spec).run();
+  const util::Table table = envelope_table(out);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudfog::scenario
