@@ -26,7 +26,10 @@
 #   9. (full mode) sanitizer matrix: ASan+UBSan build + ctest, TSan build +
 #      ctest with CLOUDFOG_THREADS=2 (races in the parallel QoS pass fail
 #      here), a TSan 4-thread fig7 cross-checked against the plain trace,
-#      and the chaos smoke re-run under ASan
+#      the chaos smoke re-run under ASan, and a standalone UBSan build
+#      (with the probed float-divide-by-zero / implicit-integer-sign-change
+#      checks) driving fig7, the seeded chaos replay and the full scenario
+#      smoke — all cross-checked byte-for-byte against the plain traces
 #
 #   scripts/check.sh            everything
 #   scripts/check.sh --quick    stages 1–8 only (no sanitizer builds)
@@ -285,6 +288,27 @@ if [ "$QUICK" -eq 0 ]; then
   cmp -s "$SMOKE_DIR/chaos_asan.jsonl" "$SMOKE_DIR/chaos_trace_a.jsonl" || {
     echo "seeded chaos replay diverged between plain and ASan builds" >&2; exit 1; }
   echo "ASan chaos replay matches the plain build byte-for-byte"
+
+  echo "== sanitizer matrix: standalone UBSan build (extra checks probed) =="
+  # ASan's shadow memory makes the combined leg too slow for the scenario
+  # suite; the standalone UBSan build is fast enough to drive the full
+  # pipeline, which is where integer-conversion and float-division UB hides.
+  cmake -B build-ubsan -S . -DSANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+
+  echo "== UBSan pipeline leg: fig7 + seeded chaos + scenario smoke =="
+  ./build-ubsan/bench/bench_fig7_latency --quick --threads 4 \
+    --trace "$SMOKE_DIR/fig7_ubsan.jsonl" >/dev/null
+  cmp -s "$SMOKE_DIR/fig7_trace_a.jsonl" "$SMOKE_DIR/fig7_ubsan.jsonl" || {
+    echo "fig7 trace diverged between plain and UBSan builds" >&2; exit 1; }
+  CLOUDFOG_FAULT_SEED=424242 ./build-ubsan/bench/bench_ext_chaos --quick \
+    --trace "$SMOKE_DIR/chaos_ubsan.jsonl" >/dev/null
+  cmp -s "$SMOKE_DIR/chaos_trace_a.jsonl" "$SMOKE_DIR/chaos_ubsan.jsonl" || {
+    echo "seeded chaos replay diverged between plain and UBSan builds" >&2; exit 1; }
+  ./build-ubsan/bench/bench_scenarios --all --smoke --obs-off >/dev/null || {
+    echo "scenario suite failed under UBSan" >&2; exit 1; }
+  echo "UBSan fig7/chaos traces byte-identical to plain; scenario smoke clean"
 fi
 
 echo "all checks passed"

@@ -4,6 +4,8 @@
 #   scripts/lint.sh                 lint the default tree (src/ + bench/)
 #   scripts/lint.sh path...         lint specific files or directories
 #   scripts/lint.sh --list-rules    describe the rules
+#   scripts/lint.sh --jobs 0        scan files in parallel (identical output)
+#   scripts/lint.sh --stats         per-rule finding counts (zeroes included)
 #
 # Exit: 0 clean, 1 findings, 2 usage error. See tools/lint/cloudfog_lint.py
 # for rule details and the NOLINT(cloudfog-<rule>): <justification> escape

@@ -29,8 +29,8 @@ struct FogObs {
   }
 };
 
-FogObs& fog_obs() {
-  static FogObs handles;
+const FogObs& fog_obs() {
+  static const FogObs handles;
   return handles;
 }
 

@@ -392,7 +392,7 @@ SubcycleQos QosEngine::run_subcycle(std::vector<PlayerState>& players,
     } else {
       const std::size_t shards = static_cast<std::size_t>(threads_);
       if (captures_.size() < shards) captures_.resize(shards);
-      pool_->run(static_cast<int>(shards), [&](int s) {
+      pool_->run(static_cast<int>(shards), CF_PARALLEL_REGION [&](int s) {
         struct CaptureGuard {
           explicit CaptureGuard(obs::ObsCapture* cap) { obs::Recorder::set_thread_capture(cap); }
           ~CaptureGuard() { obs::Recorder::set_thread_capture(nullptr); }

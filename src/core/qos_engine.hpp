@@ -172,7 +172,7 @@ class QosEngine {
   /// One player's substep: path computation (through the memo tiers) and
   /// session update into `acc`. Touches only `player`, `memo`, `acc` and
   /// shared *immutable* state — safe to run on parallel shards.
-  void evaluate_player(PlayerState& player, PlayerMemo& memo, Acc& acc,
+  CF_PARALLEL_REGION void evaluate_player(PlayerState& player, PlayerMemo& memo, Acc& acc,
                        const std::vector<SupernodeState>& fleet, const Cloud& cloud,
                        const std::vector<CdnServerState>& cdn) const;
 
@@ -194,13 +194,15 @@ class QosEngine {
   int threads_ = 1;
 
   // Subcycle scratch + memo state, reused across calls. The engine's
-  // driver is single-threaded (run_subcycle is not reentrant); parallel
-  // shards touch disjoint elements only.
-  mutable std::vector<Acc> acc_;
-  mutable std::vector<std::uint32_t> work_;
-  mutable std::vector<PlayerMemo> memo_;
+  // driver is single-threaded (run_subcycle is not reentrant); while the
+  // parallel pass is in flight, shards write only their own slots of the
+  // CF_SHARD_LOCAL containers (indexed through the work list) and read
+  // the CF_SHARD_SHARED_READONLY work list, which pass 2 never mutates.
+  CF_SHARD_LOCAL mutable std::vector<Acc> acc_;
+  CF_SHARD_SHARED_READONLY mutable std::vector<std::uint32_t> work_;
+  CF_SHARD_LOCAL mutable std::vector<PlayerMemo> memo_;
   mutable const PlayerState* memo_players_ = nullptr;
-  mutable std::vector<obs::ObsCapture> captures_;
+  CF_SHARD_LOCAL mutable std::vector<obs::ObsCapture> captures_;
   mutable std::unique_ptr<util::ShardPool> pool_;
 };
 

@@ -51,8 +51,8 @@ struct SystemObs {
   }
 };
 
-SystemObs& sys_obs() {
-  static SystemObs handles;
+const SystemObs& sys_obs() {
+  static const SystemObs handles;
   return handles;
 }
 

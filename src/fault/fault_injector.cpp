@@ -19,8 +19,8 @@ struct InjectorObs {
   }
 };
 
-InjectorObs& injector_obs() {
-  static InjectorObs handles;
+const InjectorObs& injector_obs() {
+  static const InjectorObs handles;
   return handles;
 }
 

@@ -24,8 +24,8 @@ struct RetryObs {
   }
 };
 
-RetryObs& retry_obs() {
-  static RetryObs handles;
+const RetryObs& retry_obs() {
+  static const RetryObs handles;
   return handles;
 }
 

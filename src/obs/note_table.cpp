@@ -2,7 +2,8 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace cloudfog::obs {
 
@@ -10,11 +11,14 @@ namespace {
 
 // std::map (not unordered) keeps lookups deterministic-friendly and the
 // table is never iterated on a hot path; std::deque gives stable storage
-// so note_text() views stay valid across later interning.
+// so note_text() views stay valid across later interning. Interning is the
+// one place parallel shards may write shared state directly (it is
+// idempotent and id assignment is racing-free under mu), which is why the
+// table carries real capability annotations instead of shard markers.
 struct NoteTable {
-  std::mutex mu;
-  std::map<std::string, std::uint32_t, std::less<>> ids;
-  std::deque<std::string> texts;
+  util::Mutex mu;
+  std::map<std::string, std::uint32_t, std::less<>> ids CF_GUARDED_BY(mu);
+  std::deque<std::string> texts CF_GUARDED_BY(mu);
 
   NoteTable() {
     texts.emplace_back();  // index 0: the empty note
@@ -38,7 +42,7 @@ NoteTable& table() {
 NoteId intern_note(std::string_view text) {
   if (text.empty()) return NoteId{0};
   NoteTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const util::MutexLock lock(t.mu);
   const auto it = t.ids.find(text);
   if (it != t.ids.end()) return NoteId{it->second};
   const auto index = static_cast<std::uint32_t>(t.texts.size());
@@ -49,14 +53,14 @@ NoteId intern_note(std::string_view text) {
 
 std::string_view note_text(NoteId id) {
   NoteTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const util::MutexLock lock(t.mu);
   if (id.index >= t.texts.size()) return {};
   return t.texts[id.index];
 }
 
 std::size_t note_count() {
   NoteTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const util::MutexLock lock(t.mu);
   return t.texts.size();
 }
 

@@ -2,16 +2,34 @@
 
 #include <algorithm>
 
+#include "util/require.hpp"
+#include "util/shard_pool.hpp"
+
 namespace cloudfog::obs {
 
 namespace {
 // Per-thread obs sink for deterministic parallel shards. The main thread
 // never installs one, so serial code paths are unaffected.
 thread_local ObsCapture* t_capture = nullptr;
+
+// ShardPool hygiene probe: a shard body that returns with its capture
+// still installed would silently swallow the next region's emissions on
+// this worker — reject it from ShardPool::run.
+const char* capture_still_installed() {
+  return t_capture != nullptr ? "shard returned with its obs capture still installed"
+                              : nullptr;
+}
+
+[[maybe_unused]] const bool hygiene_registered = [] {
+  util::ShardPool::set_worker_hygiene_check(&capture_still_installed);
+  return true;
+}();
 }  // namespace
 
 Recorder& Recorder::global() {
-  static Recorder instance;
+  // The process-wide recorder: mutability is its whole point (every run
+  // resets and repopulates it), and tests swap sinks on it freely.
+  static Recorder instance;  // NOLINT(cloudfog-static-mutable): sanctioned process-wide observability root, reset per run via reset_all()
   return instance;
 }
 
@@ -40,7 +58,12 @@ void Recorder::count(CounterId id, std::uint64_t n) {
   registry_.add(id, n);
 }
 
-void Recorder::set_thread_capture(ObsCapture* cap) { t_capture = cap; }
+void Recorder::set_thread_capture(ObsCapture* cap) {
+  CLOUDFOG_REQUIRE(cap == nullptr || cap->empty(),
+                   "capture buffer still holds un-replayed ops from a previous "
+                   "parallel region; replay it (Recorder::replay) before reuse");
+  t_capture = cap;
+}
 
 void Recorder::replay(ObsCapture& cap) {
   for (const ObsCapture::Op& op : cap.ops_) {

@@ -23,6 +23,7 @@
 #include "obs/phase_profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/annotations.hpp"
 
 namespace cloudfog::obs {
 
@@ -115,6 +116,11 @@ class Recorder {
   void count(CounterId id, std::uint64_t n = 1);
 
   /// Installs `cap` as the calling thread's obs sink (nullptr uninstalls).
+  /// `cap` must be empty: installing a capture that still holds buffered
+  /// ops means the previous region was never replayed, and its emissions
+  /// would interleave into the new shard's stream — that is a ConfigError
+  /// (surfaced through ShardPool::run, which also rejects a worker that
+  /// returns with a capture still installed).
   static void set_thread_capture(ObsCapture* cap);
 
   /// Replays a capture's buffered operations into the live registry/trace
@@ -134,14 +140,17 @@ class Recorder {
  private:
   Recorder() = default;
 
+  // Parallel shards never touch these directly: trace()/count() divert to
+  // the thread's installed ObsCapture, and the owner replays buffers in
+  // shard order back on the main thread (DESIGN.md §13).
   bool enabled_ = false;
-  Registry registry_;
-  PhaseProfiler profiler_;
-  TraceBuffer trace_;
-  std::vector<RunSummary> runs_;
+  CF_MAIN_THREAD_ONLY Registry registry_;
+  CF_MAIN_THREAD_ONLY PhaseProfiler profiler_;
+  CF_MAIN_THREAD_ONLY TraceBuffer trace_;
+  CF_MAIN_THREAD_ONLY std::vector<RunSummary> runs_;
   double sim_time_ = 0.0;
   double base_time_ = 0.0;
-  mutable double last_emitted_ = 0.0;
+  CF_MAIN_THREAD_ONLY mutable double last_emitted_ = 0.0;
 };
 
 /// RAII wall-clock timer for a profiled phase. Reads the clock only while

@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace cloudfog::obs {
 
 struct CounterId {
@@ -40,7 +42,10 @@ struct RegistrySnapshot {
   RegistrySnapshot delta_since(const RegistrySnapshot& earlier) const;
 };
 
-class Registry {
+// Main-thread only, like the recorder that owns it: code reachable from
+// parallel shards must count through Recorder::count() (capture-aware),
+// never registry().add() directly.
+class CF_MAIN_THREAD_ONLY Registry {
  public:
   /// Registration is idempotent: the same name always returns the same
   /// handle. A histogram re-registered with different bounds keeps the

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/note_table.hpp"
+#include "util/annotations.hpp"
 
 namespace cloudfog::obs {
 
@@ -99,7 +100,10 @@ class JsonlTraceSink final : public TraceSink {
 
 enum class TraceRetention : std::uint8_t { kFull, kSampled, kAggregated };
 
-class TraceBuffer {
+// Owned by the recorder and mutated on the owning thread only: parallel
+// shards reach it exclusively through Recorder::trace(), which diverts to
+// the thread's ObsCapture (replayed in shard order afterwards).
+class CF_MAIN_THREAD_ONLY TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = 1 << 16);
 

@@ -27,8 +27,8 @@ struct JoinObs {
   }
 };
 
-JoinObs& join_obs() {
-  static JoinObs handles;
+const JoinObs& join_obs() {
+  static const JoinObs handles;
   return handles;
 }
 

@@ -1,0 +1,151 @@
+// Concurrency & determinism annotation vocabulary (DESIGN.md §13).
+//
+// Two families live here:
+//
+//  1. Clang thread-safety capability macros (CF_CAPABILITY, CF_GUARDED_BY,
+//     CF_REQUIRES, CF_ACQUIRE/CF_RELEASE, ...). Under clang these expand to
+//     the `-Wthread-safety` attributes, so a write to a guarded member
+//     without its mutex held is a *compile error* (ENABLE_WERROR). Under
+//     GCC they expand to nothing — the reference CI image still builds, and
+//     the dedicated clang job enforces the analysis.
+//
+//  2. Shard-discipline markers for deterministic parallel regions
+//     (CF_PARALLEL_REGION, CF_SHARD_LOCAL, CF_SHARD_SHARED_READONLY,
+//     CF_MAIN_THREAD_ONLY). These expand to nothing for every compiler;
+//     they are machine-checked by tools/lint/cloudfog_lint.py
+//     (cloudfog-parallel-shared-write, cloudfog-float-reduce), which keys
+//     on the marker tokens to know which lambdas run on pool shards and
+//     which state is legitimately written from them.
+//
+// The annotated util::Mutex / util::MutexLock wrappers exist because
+// libstdc++'s std::mutex carries no capability attributes, so clang's
+// analysis cannot track it. The wrappers cost nothing beyond the wrapped
+// std::mutex and interoperate with std::condition_variable_any.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CF_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability (e.g. CF_CAPABILITY("mutex")).
+#define CF_CAPABILITY(x) CF_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define CF_SCOPED_CAPABILITY CF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define CF_GUARDED_BY(x) CF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define CF_PT_GUARDED_BY(x) CF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held by the caller.
+#define CF_REQUIRES(...) CF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (and did not hold them).
+#define CF_ACQUIRE(...) CF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define CF_RELEASE(...) CF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire and reports success as `ret`.
+#define CF_TRY_ACQUIRE(ret, ...) \
+  CF_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must be called with the listed capabilities *not* held.
+#define CF_EXCLUDES(...) CF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define CF_RETURN_CAPABILITY(x) CF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment saying why the function is safe.
+#define CF_NO_THREAD_SAFETY_ANALYSIS CF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Shard-discipline markers (lint-enforced, zero codegen).
+//
+// The deterministic parallel pattern (DESIGN.md §10): a CF_PARALLEL_REGION
+// lambda runs once per shard on util::ShardPool workers. Inside it, code
+// may write only (a) state reached through the shard's own parameters,
+// (b) disjoint slots of containers marked CF_SHARD_LOCAL (indexed by the
+// shard id / the shard's slice of the work list), and (c) the thread's
+// installed obs::ObsCapture (via Recorder::trace / Recorder::count).
+// Everything else it touches must be marked CF_SHARD_SHARED_READONLY and
+// stay bit-identical while the region runs. Metrics, traces and any
+// order-sensitive float accumulation go through the capture buffers and
+// are replayed in shard order on the owning thread afterwards.
+// ---------------------------------------------------------------------------
+
+/// Marks a lambda/function whose body executes on ShardPool workers.
+/// The lint applies the parallel-region write rules to the marked body.
+#define CF_PARALLEL_REGION
+
+/// Marks a container whose elements are partitioned one-per-shard (or
+/// per work item): parallel writes through disjoint indices are safe.
+#define CF_SHARD_LOCAL
+
+/// Marks state a parallel region reads but never writes; it must not be
+/// mutated by anyone while a region is in flight.
+#define CF_SHARD_SHARED_READONLY
+
+/// Marks state only the owning (main) thread may touch directly; shard
+/// code goes through the capture/replay path instead.
+#define CF_MAIN_THREAD_ONLY
+
+namespace cloudfog::util {
+
+/// std::mutex with clang capability attributes, so members declared
+/// CF_GUARDED_BY(mu_) are actually enforced. Methods mirror std::mutex;
+/// native() exposes the wrapped mutex for condition_variable_any.
+class CF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CF_ACQUIRE() { mu_.lock(); }
+  void unlock() CF_RELEASE() { mu_.unlock(); }
+  bool try_lock() CF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Relockable scoped lock over util::Mutex (the std::unique_lock shape the
+/// analysis can see). Satisfies BasicLockable, so it works directly as the
+/// lock argument of std::condition_variable_any::wait — the wait's
+/// internal unlock/relock nets out to "still held", which matches what the
+/// analysis assumes.
+class CF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CF_ACQUIRE(mu) : mu_(mu), owned_(true) { mu_.lock(); }
+  ~MutexLock() CF_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() CF_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() CF_RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+}  // namespace cloudfog::util

@@ -1,10 +1,20 @@
 #include "util/shard_pool.hpp"
 
-#include <algorithm>
+#include <atomic>
 
 #include "util/require.hpp"
 
 namespace cloudfog::util {
+
+namespace {
+// Set once at startup (obs registers its capture-leak probe); read after
+// every shard. Atomic so registration needs no lock ordering with pools.
+std::atomic<ShardPool::HygieneCheck> g_hygiene_check{nullptr};
+}  // namespace
+
+void ShardPool::set_worker_hygiene_check(HygieneCheck check) {
+  g_hygiene_check.store(check, std::memory_order_release);
+}
 
 ShardPool::ShardPool(int workers) {
   CLOUDFOG_REQUIRE(workers >= 1, "shard pool needs at least one worker");
@@ -14,7 +24,7 @@ ShardPool::ShardPool(int workers) {
 
 ShardPool::~ShardPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -23,7 +33,7 @@ ShardPool::~ShardPool() {
 
 void ShardPool::run(int shards, const std::function<void(int)>& fn) {
   if (shards <= 0) return;
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   CLOUDFOG_REQUIRE(fn_ == nullptr, "ShardPool::run is not reentrant");
   fn_ = &fn;
   total_shards_ = shards;
@@ -32,7 +42,7 @@ void ShardPool::run(int shards, const std::function<void(int)>& fn) {
   error_ = nullptr;
   ++generation_;
   work_cv_.notify_all();
-  done_cv_.wait(lk, [this] { return next_shard_ >= total_shards_ && in_flight_ == 0; });
+  while (next_shard_ < total_shards_ || in_flight_ != 0) done_cv_.wait(lk);
   fn_ = nullptr;
   if (error_) {
     std::exception_ptr err = error_;
@@ -43,18 +53,27 @@ void ShardPool::run(int shards, const std::function<void(int)>& fn) {
 
 void ShardPool::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    while (!stop_ && generation_ == seen) work_cv_.wait(lk);
     if (stop_) return;
     seen = generation_;
     while (next_shard_ < total_shards_) {
       const int shard = next_shard_++;
       ++in_flight_;
+      const std::function<void(int)>* fn = fn_;
       lk.unlock();
       std::exception_ptr err;
       try {
-        (*fn_)(shard);
+        (*fn)(shard);
+        // The body must restore the worker thread (uninstall captures,
+        // drop thread-local sinks) before returning: the next generation
+        // may run a different region on this thread.
+        if (const HygieneCheck check = g_hygiene_check.load(std::memory_order_acquire)) {
+          if (const char* why = check()) {
+            throw ConfigError(std::string("ShardPool worker hygiene: ") + why);
+          }
+        }
       } catch (...) {
         err = std::current_exception();
       }

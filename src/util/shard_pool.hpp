@@ -7,15 +7,20 @@
 // order afterwards — the pool itself guarantees only completion, never an
 // execution order. Workers are parked between calls, so a pool can be kept
 // alive across many subcycles without per-call thread spawn cost.
+//
+// All scheduling state is guarded by mu_ (clang -Wthread-safety enforces
+// the annotations below); the shard bodies themselves run with no lock
+// held, which is exactly why they may only touch CF_SHARD_LOCAL slots.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace cloudfog::util {
 
@@ -32,22 +37,33 @@ class ShardPool {
 
   /// Runs fn(shard) for every shard in [0, shards); blocks until all
   /// complete. If a shard threw, rethrows one of the exceptions after the
-  /// remaining shards have drained. Not reentrant.
+  /// remaining shards have drained. Not reentrant. Each shard body must
+  /// leave the worker thread the way it found it — in particular an
+  /// obs capture it installed must be uninstalled (and later replayed by
+  /// the caller) before the shard returns; run() rejects a dirty worker.
   void run(int shards, const std::function<void(int)>& fn);
+
+  /// Probe consulted after every shard body returns, reporting a worker
+  /// thread left dirty (nullptr = clean). Installed by higher layers —
+  /// obs registers one that rejects a still-installed capture buffer —
+  /// because util cannot see their thread-local state. A violation is
+  /// rethrown out of run() as cloudfog::ConfigError.
+  using HygieneCheck = const char* (*)();
+  static void set_worker_hygiene_check(HygieneCheck check);
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* fn_ = nullptr;
-  int total_shards_ = 0;
-  int next_shard_ = 0;
-  int in_flight_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::exception_ptr error_;
+  Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  const std::function<void(int)>* fn_ CF_GUARDED_BY(mu_) = nullptr;
+  int total_shards_ CF_GUARDED_BY(mu_) = 0;
+  int next_shard_ CF_GUARDED_BY(mu_) = 0;
+  int in_flight_ CF_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ CF_GUARDED_BY(mu_) = 0;
+  bool stop_ CF_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ CF_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
 };
 

@@ -212,9 +212,11 @@ double SampleSet::percentile(double p) const {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    : lo_(lo), hi_(hi), width_(0.0), counts_(bins, 0) {
+  // Validate before deriving width: bins == 0 must throw, not divide.
   CLOUDFOG_REQUIRE(hi > lo, "histogram range inverted");
   CLOUDFOG_REQUIRE(bins > 0, "histogram needs at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
 }
 
 void Histogram::add(double x) {

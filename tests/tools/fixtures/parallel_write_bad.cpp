@@ -1,0 +1,32 @@
+// Lint fixture: shared-state writes inside a CF_PARALLEL_REGION.
+// Exercised by tests/tools/lint_test.py; never compiled.
+#define CF_PARALLEL_REGION
+#define CF_SHARD_LOCAL
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  CF_SHARD_LOCAL std::vector<double> acc_;
+  std::vector<double> totals_;
+  std::uint64_t counter_ = 0;
+  std::vector<int> log_;
+
+  void run_pass(int shards) {
+    int shared_count = 0;
+    auto body = CF_PARALLEL_REGION [&](int shard) {
+      double local = 0.0;       // region-local: fine
+      acc_[shard] = local;      // CF_SHARD_LOCAL slot: fine
+      totals_[shard] = local;   // BAD: plain shared member
+      counter_ += 1;            // BAD: shared member compound assignment
+      shared_count++;           // BAD: by-ref capture of an enclosing local
+      log_.push_back(shard);    // BAD: mutating container call on shared state
+    };
+    (void)body;
+    (void)shards;
+  }
+};
+
+}  // namespace fixture

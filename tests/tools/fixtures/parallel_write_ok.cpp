@@ -1,0 +1,28 @@
+// Lint fixture: the sanctioned shard discipline — region code writes only
+// its own locals and CF_SHARD_LOCAL slots. Must stay fully lint-clean.
+#define CF_PARALLEL_REGION
+#define CF_SHARD_LOCAL
+
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  CF_SHARD_LOCAL std::vector<double> acc_;
+  CF_SHARD_LOCAL std::vector<int> samples_;
+
+  void run_pass(int shards) {
+    auto body = CF_PARALLEL_REGION [&](int shard) {
+      double local = 0.0;
+      for (int i = 0; i < shard; ++i) {
+        local += 1.0;
+      }
+      acc_[shard] = local;
+      samples_[shard] = shard;
+    };
+    (void)body;
+    (void)shards;
+  }
+};
+
+}  // namespace fixture

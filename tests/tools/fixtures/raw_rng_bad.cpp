@@ -1,0 +1,19 @@
+// Lint fixture: raw RNG engines and entropy sources outside src/util/rng.
+// Exercised by tests/tools/lint_test.py; never compiled.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int draw_entropy() {
+  std::random_device rd;                // BAD: real entropy
+  std::mt19937 gen(rd());               // BAD: stdlib engine
+  std::uniform_int_distribution<int> dist(0, 9);
+  int x = dist(gen);
+  x += std::rand();                     // BAD: libc global RNG
+  std::default_random_engine fallback;  // BAD: stdlib engine
+  (void)fallback;
+  return x;
+}
+
+}  // namespace fixture

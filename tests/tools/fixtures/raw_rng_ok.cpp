@@ -1,0 +1,19 @@
+// Lint fixture: the sanctioned randomness idiom — a seeded, replayable
+// PCG-style stream (stand-in for util::Rng). Must stay fully lint-clean.
+#include <cstdint>
+
+namespace fixture {
+
+struct SeededStream {
+  std::uint64_t state = 0x853c49e6748fea9bULL;
+  std::uint32_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(state >> 32);
+  }
+};
+
+double uniform01(SeededStream& rng) {
+  return static_cast<double>(rng.next()) * (1.0 / 4294967296.0);
+}
+
+}  // namespace fixture

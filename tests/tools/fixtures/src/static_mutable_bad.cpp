@@ -1,0 +1,32 @@
+// Lint fixture: non-const statics at namespace and function scope (the rule
+// is scoped to src/, hence this file lives under fixtures/src/).
+// Exercised by tests/tools/lint_test.py; never compiled.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+namespace {
+
+static int call_count = 0;                       // BAD: namespace-scope mutable
+static std::vector<std::string> names;           // BAD: templated mutable
+static const int kLimit = 32;                    // ok: const
+static constexpr double kRatio = 0.5;            // ok: constexpr
+static int helper(int x) { return x + kLimit; }  // ok: function
+
+int bump() {
+  static std::uint64_t hits = 0;  // BAD: function-local mutable
+  hits += static_cast<std::uint64_t>(helper(1));
+  ++call_count;
+  names.emplace_back("x");
+  return static_cast<int>(hits * static_cast<std::uint64_t>(kRatio));
+}
+
+}  // namespace
+
+struct Widget {
+  static int shared_config;  // ok: class member, visible in the API
+  int id = 0;
+};
+
+}  // namespace fixture

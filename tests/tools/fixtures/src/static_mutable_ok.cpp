@@ -1,0 +1,28 @@
+// Lint fixture: the statics the rule must NOT flag — const/constexpr data,
+// static functions, class members, and a justified suppression.
+// Must stay fully lint-clean.
+#include <string>
+
+namespace fixture {
+namespace {
+
+static const int kWindow = 8;
+static constexpr double kScale = 1.5;
+
+static int scaled(int x) { return x * kWindow; }
+
+const std::string& label() {
+  static const std::string name = "fixture";
+  return name;
+}
+
+int& sanctioned_counter() {
+  static int value = 0;  // NOLINT(cloudfog-static-mutable): fixture demonstrates a justified suppression
+  return value;
+}
+
+}  // namespace
+
+double stretch(int x) { return kScale * scaled(x) + sanctioned_counter() + label().size(); }
+
+}  // namespace fixture

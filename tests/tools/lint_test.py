@@ -67,6 +67,73 @@ class FixtureCase(unittest.TestCase):
         self.assertNotIn("fixture.unique_gauge", out)
         self.assertNotIn("fixture.unique_counter", out)
 
+    def test_parallel_write_fixture(self):
+        out = self.assert_trips("parallel_write_bad.cpp",
+                                "cloudfog-parallel-shared-write", min_findings=4)
+        # Shard-local slots and region locals are the sanctioned writes.
+        self.assertNotIn("'acc_'", out)
+        self.assertNotIn("'local'", out)
+        for base in ("totals_", "counter_", "shared_count", "log_"):
+            self.assertIn(f"'{base}'", out)
+
+    def test_parallel_write_clean_fixture(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "parallel_write_ok.cpp"))
+        self.assertEqual(code, 0, f"shard-discipline fixture should pass\n{out}{err}")
+
+    def test_raw_rng_fixture(self):
+        out = self.assert_trips("raw_rng_bad.cpp", "cloudfog-raw-rng",
+                                min_findings=4)
+        self.assertIn("mt19937", out)
+        self.assertIn("entropy", out)
+
+    def test_raw_rng_clean_fixture(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "raw_rng_ok.cpp"))
+        self.assertEqual(code, 0, f"seeded-stream fixture should pass\n{out}{err}")
+
+    def test_float_reduce_fixture(self):
+        out = self.assert_trips("float_reduce_bad.cpp", "cloudfog-float-reduce",
+                                min_findings=2)
+        # Both halves of the rule: the unordered loop and the parallel region.
+        self.assertIn("'total'", out)
+        self.assertIn("'mean_'", out)
+
+    def test_float_reduce_clean_fixture(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "float_reduce_ok.cpp"))
+        self.assertEqual(code, 0, f"ordered-sum fixture should pass\n{out}{err}")
+
+    def test_static_mutable_fixture(self):
+        out = self.assert_trips(os.path.join("src", "static_mutable_bad.cpp"),
+                                "cloudfog-static-mutable", min_findings=3)
+        flagged = [l.split(":")[1] for l in out.splitlines()
+                   if "cloudfog-static-mutable" in l]
+        self.assertEqual(len(flagged), 3, out)
+
+    def test_static_mutable_clean_fixture(self):
+        code, out, err = run_lint(
+            os.path.join(FIXTURES, "src", "static_mutable_ok.cpp"))
+        self.assertEqual(code, 0, f"const-static fixture should pass\n{out}{err}")
+
+    def test_static_mutable_scoped_to_src(self):
+        # The same declarations outside a src/ path are not the rule's
+        # business (fixtures, tests and tools keep their statics).
+        code, out, _ = run_lint(
+            os.path.join(FIXTURES, "src", "static_mutable_bad.cpp"),
+            "--rule", "cloudfog-static-mutable")
+        self.assertEqual(code, 1, out)
+        code, out, _ = run_lint(
+            os.path.join(FIXTURES, "clean_ok.cpp"),
+            "--rule", "cloudfog-static-mutable")
+        self.assertEqual(code, 0, out)
+
+    def test_stats_output(self):
+        _, _, err = run_lint(os.path.join(FIXTURES, "raw_rng_bad.cpp"), "--stats")
+        stat_lines = [l for l in err.splitlines() if " stat " in l]
+        self.assertTrue(any("cloudfog-raw-rng" in l and l.split()[-1] == "4"
+                            for l in stat_lines), err)
+        # Zero counts are printed too (CI graphs every rule every run).
+        self.assertTrue(any("cloudfog-metric-once" in l and l.split()[-1] == "0"
+                            for l in stat_lines), err)
+
     def test_nolint_requires_justification(self):
         out = self.assert_trips("nolint_nojust_bad.cpp", "cloudfog-nolint")
         # The bare NOLINT must not silently suppress the underlying finding
@@ -95,15 +162,27 @@ class FixtureCase(unittest.TestCase):
         self.assertEqual(code, 0)
         for rule in ("cloudfog-wallclock", "cloudfog-unordered-iter",
                      "cloudfog-pointer-key", "cloudfog-uninit-pod",
-                     "cloudfog-metric-once", "cloudfog-nolint"):
+                     "cloudfog-metric-once", "cloudfog-nolint",
+                     "cloudfog-parallel-shared-write", "cloudfog-raw-rng",
+                     "cloudfog-float-reduce", "cloudfog-static-mutable"):
             self.assertIn(rule, out)
 
 
 class TreeCase(unittest.TestCase):
     def test_full_tree_is_clean(self):
-        code, out, err = run_lint("src", "bench")
+        code, out, err = run_lint("src", "bench", "--jobs", "0")
         self.assertEqual(code, 0,
                          f"src/ + bench/ must stay lint-clean\n{out}{err}")
+
+    def test_parallel_scan_matches_serial(self):
+        # The multiprocessing driver must be an implementation detail:
+        # identical findings, identical order, at any job count. Scanned
+        # over the fixtures (guaranteed findings) and the live tree.
+        for target in (FIXTURES, "src"):
+            serial_code, serial_out, _ = run_lint(target, "--jobs", "1")
+            par_code, par_out, _ = run_lint(target, "--jobs", "4")
+            self.assertEqual(serial_code, par_code, target)
+            self.assertEqual(serial_out, par_out, target)
 
 
 if __name__ == "__main__":

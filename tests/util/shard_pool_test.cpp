@@ -1,0 +1,112 @@
+// ShardPool scheduling and worker-hygiene contract (DESIGN.md §10/§13):
+// every shard runs exactly once, shard exceptions surface from run(), and
+// a worker that returns with an obs capture still installed — or a capture
+// re-installed before its previous region was replayed — is a ConfigError.
+#include "util/shard_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "util/require.hpp"
+
+namespace cloudfog {
+namespace {
+
+TEST(ShardPoolTest, RunsEveryShardExactlyOnce) {
+  util::ShardPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  std::vector<std::atomic<int>> hits(17);
+  pool.run(17, [&](int s) { hits[static_cast<std::size_t>(s)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ShardPoolTest, ReusableAcrossRuns) {
+  util::ShardPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.run(8, [&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ShardPoolTest, ShardExceptionPropagates) {
+  util::ShardPool pool(2);
+  EXPECT_THROW(
+      pool.run(4,
+               [&](int s) {
+                 if (s == 2) throw ConfigError("boom");
+               }),
+      ConfigError);
+  // The pool survives a failed run.
+  std::atomic<int> ok{0};
+  pool.run(4, [&](int) { ok++; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ShardPoolTest, RejectsWorkerLeftWithCaptureInstalled) {
+  util::ShardPool pool(2);
+  std::vector<obs::ObsCapture> captures(4);
+  // A shard body that forgets to uninstall its capture leaves the worker
+  // thread dirty; the pool's hygiene probe must fail the whole run.
+  EXPECT_THROW(pool.run(4,
+                        [&](int s) {
+                          obs::Recorder::set_thread_capture(
+                              &captures[static_cast<std::size_t>(s)]);
+                        }),
+               ConfigError);
+  // Clean up the worker threads' thread-local state for later tests.
+  pool.run(4, [&](int) { obs::Recorder::set_thread_capture(nullptr); });
+}
+
+TEST(ShardPoolTest, DisciplinedCaptureUseIsAccepted) {
+  auto& rec = obs::Recorder::global();
+  const bool was_enabled = rec.enabled();
+  rec.set_enabled(true);
+  const auto id = rec.registry().counter("shard_pool_test.hits");
+  const auto before = rec.registry().counter_value(id);
+
+  util::ShardPool pool(2);
+  std::vector<obs::ObsCapture> captures(6);
+  pool.run(6, [&](int s) {
+    auto* cap = &captures[static_cast<std::size_t>(s)];
+    obs::Recorder::set_thread_capture(cap);
+    obs::Recorder::global().count(id);
+    obs::Recorder::set_thread_capture(nullptr);
+  });
+  for (auto& cap : captures) {
+    EXPECT_FALSE(cap.empty());
+    rec.replay(cap);
+    EXPECT_TRUE(cap.empty());
+  }
+  EXPECT_EQ(rec.registry().counter_value(id), before + 6);
+  rec.set_enabled(was_enabled);
+}
+
+TEST(RecorderCaptureTest, RejectsUnreplayedCaptureBuffer) {
+  auto& rec = obs::Recorder::global();
+  const bool was_enabled = rec.enabled();
+  rec.set_enabled(true);
+  const auto id = rec.registry().counter("shard_pool_test.stale");
+
+  obs::ObsCapture cap;
+  obs::Recorder::set_thread_capture(&cap);
+  rec.count(id);
+  obs::Recorder::set_thread_capture(nullptr);
+  ASSERT_FALSE(cap.empty());
+
+  // Re-installing the buffer without replaying it would interleave the old
+  // region's emissions into the new one.
+  EXPECT_THROW(obs::Recorder::set_thread_capture(&cap), ConfigError);
+
+  rec.replay(cap);
+  EXPECT_TRUE(cap.empty());
+  obs::Recorder::set_thread_capture(&cap);  // now legal again
+  obs::Recorder::set_thread_capture(nullptr);
+  rec.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace cloudfog

@@ -1,0 +1,26 @@
+// Compile-FAIL fixture for clang's -Wthread-safety analysis: the unguarded
+// write below must be rejected (ctest `thread_safety_negative` builds this
+// with -Werror=thread-safety-analysis and expects failure, proving the
+// CF_* annotation plumbing is live). Never linked into any target; GCC
+// compiles it silently, so the test only runs under clang.
+#include "util/annotations.hpp"
+
+namespace cloudfog {
+
+class Account {
+ public:
+  void deposit_unlocked(int n) {
+    balance_ += n;  // BAD: writing CF_GUARDED_BY state without holding mu_
+  }
+
+  void deposit(int n) {
+    const util::MutexLock lock(mu_);
+    balance_ += n;  // fine: lock held for the scope
+  }
+
+ private:
+  util::Mutex mu_;
+  int balance_ CF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cloudfog

@@ -28,6 +28,35 @@ Enforces project-specific invariants that the compiler cannot:
                            registration is idempotent, so two subsystems
                            silently aliasing one name is a reporting bug.
 
+Concurrency & determinism rules (DESIGN.md §13) — these key on the shard
+discipline markers of src/util/annotations.hpp:
+
+  cloudfog-parallel-shared-write
+                           inside a CF_PARALLEL_REGION lambda/function,
+                           writes to reference-captured (or member) state
+                           that is not marked CF_SHARD_LOCAL. Shards may
+                           mutate only their own disjoint slots; metrics
+                           and trace events go through the thread's
+                           ObsCapture (Recorder::trace / Recorder::count).
+  cloudfog-raw-rng         construction of std::mt19937 & friends,
+                           std::random_device or rand()/srand() anywhere
+                           outside src/util/rng: every stochastic decision
+                           must flow from the seeded util::Rng (PCG32) so
+                           runs replay bit-exactly across platforms.
+  cloudfog-float-reduce    accumulation into a floating scalar across an
+                           unordered container or from inside a parallel
+                           region: float addition is not associative, so
+                           any order-instability changes the result bytes.
+                           Accumulate per shard (CF_SHARD_LOCAL slots) and
+                           reduce in fixed shard order instead.
+  cloudfog-static-mutable  non-const static at namespace or function scope
+                           under src/ (outside the whitelisted note-table
+                           interner): hidden mutable process state breaks
+                           run-to-run isolation and is a shared-write
+                           hazard the moment a parallel region can reach
+                           it. Make it const, pass it explicitly, or
+                           suppress with a justification.
+
 Suppression: append `// NOLINT(cloudfog-<rule>): <justification>` to the
 offending line, or put `// NOLINTNEXTLINE(cloudfog-<rule>): <justification>`
 on the line above. A suppression without a justification is itself an error
@@ -46,6 +75,7 @@ Exit status: 0 clean, 1 findings, 2 usage/configuration error.
 from __future__ import annotations
 
 import argparse
+import bisect
 import os
 import re
 import sys
@@ -61,6 +91,10 @@ RULES = {
     "cloudfog-pointer-key": "pointer-keyed associative container or pointer-order comparator",
     "cloudfog-uninit-pod": "uninitialized POD member in a struct under src/",
     "cloudfog-metric-once": "obs metric name registered at more than one site",
+    "cloudfog-parallel-shared-write": "shared-state write inside a CF_PARALLEL_REGION",
+    "cloudfog-raw-rng": "raw RNG engine / entropy source outside src/util/rng",
+    "cloudfog-float-reduce": "order-sensitive floating accumulation",
+    "cloudfog-static-mutable": "non-const namespace/function-scope static under src/",
     "cloudfog-nolint": "NOLINT suppression without a justification",
 }
 
@@ -488,6 +522,455 @@ def check_metric_once(per_file_sites: dict[str, list[tuple[str, int, str]]],
 
 
 # --------------------------------------------------------------------------
+# Shared machinery for region-scoped rules (parallel-region / loop bodies)
+# --------------------------------------------------------------------------
+
+class FlatText:
+    """Sanitized source flattened to one string, with offset→line mapping."""
+
+    def __init__(self, code_lines: list[str]):
+        self.text = "\n".join(code_lines)
+        self.starts: list[int] = []
+        off = 0
+        for line in code_lines:
+            self.starts.append(off)
+            off += len(line) + 1
+
+    def line_of(self, pos: int) -> int:
+        """1-based line containing offset `pos`."""
+        return bisect.bisect_right(self.starts, pos)
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Offset of the `}` matching the `{` at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+@dataclass
+class ParallelRegion:
+    marker_line: int           # 1-based line of the CF_PARALLEL_REGION marker
+    body_start: int            # offset of the opening `{`
+    body_end: int              # offset of the matching `}`
+    capture: str | None        # lambda capture list text, None for functions
+    params: set[str]           # parameter names
+
+
+def split_top_level(text: str, sep: str = ",") -> list[str]:
+    """Split on `sep` outside (), [], <> and {}."""
+    parts, depth, cur = [], 0, []
+    for c in text:
+        if c in "([<{":
+            depth += 1
+        elif c in ")]>}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+            continue
+        cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def param_names(params_text: str) -> set[str]:
+    names = set()
+    for piece in split_top_level(params_text):
+        piece = piece.split("=")[0]
+        ids = IDENT_RE.findall(piece)
+        if ids:
+            names.add(ids[-1])
+    return names
+
+
+def find_parallel_regions(tx: FlatText) -> list[ParallelRegion]:
+    """CF_PARALLEL_REGION-marked lambda/function bodies in sanitized text.
+
+    The marker prefixes either a lambda (`CF_PARALLEL_REGION [&](int s) {`)
+    or a function definition (`CF_PARALLEL_REGION void f(...) { ... }`).
+    A marker on a pure declaration (no body before the `;`) documents the
+    contract but scopes nothing.
+    """
+    regions = []
+    for m in re.finditer(r"\bCF_PARALLEL_REGION\b", tx.text):
+        # Not a marker use when it appears on a preprocessor line (the
+        # macro's own definition in annotations.hpp).
+        line_start = tx.starts[tx.line_of(m.start()) - 1]
+        if tx.text[line_start:m.start()].lstrip().startswith("#"):
+            continue
+        i = m.end()
+        n = len(tx.text)
+        while i < n and tx.text[i].isspace():
+            i += 1
+        capture = None
+        if i < n and tx.text[i] == "[":
+            close = tx.text.find("]", i)
+            if close == -1:
+                continue
+            capture = tx.text[i + 1:close]
+            i = close + 1
+        # Parameter list: first balanced (...) before the body opens.
+        params: set[str] = set()
+        depth = 0
+        body_open = -1
+        paren_open = -1
+        while i < n:
+            c = tx.text[i]
+            if c == "(":
+                if depth == 0 and paren_open == -1:
+                    paren_open = i
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0 and paren_open != -1 and not params:
+                    params = param_names(tx.text[paren_open + 1:i])
+            elif depth == 0 and c == "{":
+                body_open = i
+                break
+            elif depth == 0 and c == ";":
+                break  # declaration only
+            i += 1
+        if body_open == -1:
+            continue
+        body_close = match_brace(tx.text, body_open)
+        if body_close == -1:
+            continue
+        regions.append(ParallelRegion(tx.line_of(m.start()), body_open, body_close,
+                                      capture, params))
+    return regions
+
+
+# Declaration on one line: optional qualifiers, a type token (possibly
+# templated / qualified), then the declared name followed by an
+# initializer, call, brace-init, subscript or `;`. Heuristic — one name
+# per line, which matches the codebase style.
+DECL_RE = re.compile(
+    r"^\s*(?:for\s*\(\s*)?"
+    r"(?:const\s+|constexpr\s+|mutable\s+|struct\s+|auto\s+)*"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?(?:\s*[&*])*\s+"
+    r"[&*]?\s*([A-Za-z_]\w*)\s*(?:[=;({\[]|$)")
+
+ASSIGN_RE = re.compile(
+    r"\b([A-Za-z_]\w*)"
+    r"((?:\s*(?:\.|->)\s*[A-Za-z_]\w*|\s*\[[^\]]*\])*)"
+    r"\s*(?:[+\-*/%&|^]|<<|>>)?=(?!=)")
+CREMENT_RE = re.compile(
+    r"(?:\+\+|--)\s*([A-Za-z_]\w*)|"
+    r"\b([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*|\s*\[[^\]]*\])*)\s*(?:\+\+|--)")
+MUTATING_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*|\s*\[[^\]]*\])*)"
+    r"\s*(?:\.|->)\s*(?:push_back|pop_back|emplace_back|emplace|insert|erase|"
+    r"clear|resize|assign|reserve|swap)\s*\(")
+FLOAT_COMPOUND_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*[+\-*/]=(?!=)")
+
+CONTROL_KEYWORDS = {"if", "while", "for", "switch", "return", "case", "else",
+                    "do", "sizeof", "catch", "this", "std", "operator"}
+
+
+def marker_names(code_lines: list[str], marker: str) -> set[str]:
+    """Names declared on lines carrying `marker` (e.g. CF_SHARD_LOCAL)."""
+    names = set()
+    for line in code_lines:
+        if marker not in line:
+            continue
+        decl = line.split(marker, 1)[1]
+        stop = len(decl)
+        for ch in ("=", ";", "{"):
+            p = decl.find(ch)
+            if p != -1:
+                stop = min(stop, p)
+        ids = IDENT_RE.findall(decl[:stop])
+        if ids:
+            names.add(ids[-1])
+    return names
+
+
+def sibling_header_lines(abs_path: str) -> list[str]:
+    """Sanitized lines of foo.hpp/.hh/.h next to foo.cpp (else [])."""
+    base, ext = os.path.splitext(abs_path)
+    if ext not in (".cpp", ".cc", ".cxx"):
+        return []
+    for hext in (".hpp", ".hh", ".h"):
+        hpath = base + hext
+        if os.path.isfile(hpath):
+            with open(hpath, encoding="utf-8", errors="replace") as f:
+                return strip_comments_and_strings(f.read().splitlines())
+    return []
+
+
+def float_var_names(code_lines: list[str]) -> set[str]:
+    """Names declared with float/double type (members and locals alike)."""
+    names = set()
+    pat = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)\s*(?:[=;{,)]|$)")
+    for line in code_lines:
+        for m in pat.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def captured_by_ref(name: str, capture: str | None) -> bool:
+    """Whether `name` is reachable by reference inside the region.
+
+    Functions (capture None) see everything by reference. For lambdas the
+    capture list decides; members (trailing `_`) ride on `this`/default
+    captures, which always give reference semantics to members.
+    """
+    if capture is None:
+        return True
+    items = [c.strip() for c in capture.split(",") if c.strip()]
+    default_ref = "&" in items
+    default_val = "=" in items
+    if name.endswith("_"):
+        return default_ref or default_val or "this" in items or "*this" in items
+    if f"&{name}" in items:
+        return True
+    if name in items:
+        return False  # explicit by-value copy
+    return default_ref
+
+
+# --------------------------------------------------------------------------
+# Rule: cloudfog-parallel-shared-write (+ the region half of float-reduce)
+# --------------------------------------------------------------------------
+
+def region_writes(sf: SourceFile, region: ParallelRegion, tx: FlatText,
+                  shard_local: set[str], float_vars: set[str],
+                  active: set[str]) -> list[Finding]:
+    findings = []
+    first_line = tx.line_of(region.body_start)
+    last_line = tx.line_of(region.body_end)
+    locals_seen: set[str] = set(region.params)
+
+    for idx in range(first_line, last_line + 1):
+        line = sf.code_lines[idx - 1]
+        # Range-for loop variables count as locals.
+        head = range_for_expr(line)
+        if head is not None:
+            before = line[:line.find(":", line.find("for"))]
+            ids = IDENT_RE.findall(before.split("(", 1)[-1])
+            if ids:
+                locals_seen.add(ids[-1])
+        dm = DECL_RE.match(line)
+        if dm:
+            locals_seen.add(dm.group(1))
+
+        writes: list[tuple[str, str]] = []  # (base, why)
+        if not dm:  # a matched declaration's `=` is an initializer
+            for m in ASSIGN_RE.finditer(line):
+                writes.append((m.group(1), "assignment"))
+        for m in CREMENT_RE.finditer(line):
+            writes.append((m.group(1) or m.group(2), "increment"))
+        for m in MUTATING_CALL_RE.finditer(line):
+            writes.append((m.group(1), "mutating container call"))
+
+        for base, why in writes:
+            if base in locals_seen or base in shard_local:
+                continue
+            if base in CONTROL_KEYWORDS:
+                continue
+            if not captured_by_ref(base, region.capture):
+                continue
+            if "cloudfog-parallel-shared-write" in active:
+                findings.append(Finding(
+                    sf.path, idx, "cloudfog-parallel-shared-write",
+                    f"{why} to '{base}' inside a CF_PARALLEL_REGION: shards may "
+                    "write only CF_SHARD_LOCAL slots and their own locals; "
+                    "metrics/trace go through the thread's ObsCapture"))
+        if "cloudfog-float-reduce" in active:
+            for m in FLOAT_COMPOUND_RE.finditer(line):
+                base = m.group(1)
+                if base in locals_seen or base in shard_local:
+                    continue
+                if base not in float_vars:
+                    continue
+                if not captured_by_ref(base, region.capture):
+                    continue
+                findings.append(Finding(
+                    sf.path, idx, "cloudfog-float-reduce",
+                    f"floating accumulation into shared '{base}' inside a "
+                    "CF_PARALLEL_REGION: float addition is not associative — "
+                    "accumulate per shard and reduce in fixed shard order"))
+    return findings
+
+
+def check_parallel_regions(sf: SourceFile, abs_path: str,
+                           active: set[str]) -> list[Finding]:
+    if "CF_PARALLEL_REGION" not in sf.code_lines and \
+            not any("CF_PARALLEL_REGION" in l for l in sf.code_lines):
+        return []
+    tx = FlatText(sf.code_lines)
+    header = sibling_header_lines(abs_path)
+    shard_local = marker_names(sf.code_lines, "CF_SHARD_LOCAL") | \
+        marker_names(header, "CF_SHARD_LOCAL")
+    float_vars = float_var_names(sf.code_lines) | float_var_names(header)
+    findings = []
+    for region in find_parallel_regions(tx):
+        findings += region_writes(sf, region, tx, shard_local, float_vars, active)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: cloudfog-raw-rng
+# --------------------------------------------------------------------------
+
+RAW_RNG_EXEMPT_PREFIXES = ("src/util/rng",)
+
+RAW_RNG_PATTERNS = [
+    (re.compile(r"\bmt19937(?:_64)?\b"),
+     "std::mt19937 is not bit-exact across standard libraries"),
+    (re.compile(r"\b(?:minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b|"
+                r"default_random_engine)\b"),
+     "standard-library RNG engine"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device draws real entropy"),
+    (re.compile(r"(?<![\w.:>])s?rand\s*\(|std::s?rand\s*\(|\bdrand48\s*\(|"
+                r"\blrand48\s*\(|(?<![\w.:>])random\s*\("),
+     "libc RNG is non-replayable global state"),
+]
+
+
+def check_raw_rng(sf: SourceFile) -> list[Finding]:
+    if any(sf.path.startswith(p) for p in RAW_RNG_EXEMPT_PREFIXES):
+        return []
+    findings = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        for pat, why in RAW_RNG_PATTERNS:
+            if pat.search(line):
+                findings.append(Finding(
+                    sf.path, idx, "cloudfog-raw-rng",
+                    f"{why}; derive a stream from the seeded util::Rng "
+                    "(PCG32) / util::splitmix64 instead"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: cloudfog-float-reduce (unordered-loop half)
+# --------------------------------------------------------------------------
+
+def check_float_reduce_loops(sf: SourceFile, abs_path: str) -> list[Finding]:
+    names = unordered_vars(sf.code_lines) | sibling_header_vars(abs_path)
+    tx = FlatText(sf.code_lines)
+    header = sibling_header_lines(abs_path)
+    float_vars = float_var_names(sf.code_lines) | float_var_names(header)
+    findings = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        expr = range_for_expr(line)
+        if expr is None:
+            continue
+        expr_ids = set(IDENT_RE.findall(expr))
+        if "unordered_" not in expr and not (expr_ids & names):
+            continue
+        # Body extent: the brace-block after the head, or the rest of the
+        # statement for a braceless single-statement body.
+        start = tx.starts[idx - 1]
+        open_pos = tx.text.find("{", start)
+        semi_pos = tx.text.find(";", start)
+        if open_pos != -1 and (semi_pos == -1 or open_pos < semi_pos):
+            close = match_brace(tx.text, open_pos)
+            if close == -1:
+                continue
+            first, last = tx.line_of(open_pos), tx.line_of(close)
+        else:
+            first = last = tx.line_of(semi_pos if semi_pos != -1 else start)
+        body_locals: set[str] = set()
+        for bidx in range(first, last + 1):
+            bline = sf.code_lines[bidx - 1]
+            dm = DECL_RE.match(bline)
+            if dm:
+                body_locals.add(dm.group(1))
+            for m in FLOAT_COMPOUND_RE.finditer(bline):
+                base = m.group(1)
+                if base in body_locals or base not in float_vars:
+                    continue
+                findings.append(Finding(
+                    sf.path, bidx, "cloudfog-float-reduce",
+                    f"floating accumulation into '{base}' while iterating an "
+                    "unordered container: bucket order is seed-defined and "
+                    "float addition is not associative — iterate a sorted "
+                    "copy or accumulate in a keyed side structure"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: cloudfog-static-mutable
+# --------------------------------------------------------------------------
+
+# The note-table interner is the sanctioned immortal singleton (DESIGN.md
+# §11.0): trace sinks resolve note ids during static destruction, so the
+# table must outlive every normally-scoped static.
+STATIC_MUTABLE_WHITELIST = ("src/obs/note_table.cpp",)
+
+STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?(?:thread_local\s+)?static\b(?!_)")
+CLASS_OPEN_RE = re.compile(r"\b(?:struct|class)\s+(?:[A-Za-z_]\w*)?[^;{]*\{")
+
+
+def static_decl_kind(rest: str) -> str | None:
+    """Classify what follows `static`: 'var' (mutable), 'const', 'fn' or None.
+
+    Scans for the first of `=`, `;`, `(`, `{` outside template angle
+    brackets: `(` first means a function declaration/definition, `=`/`;`
+    first means a variable.
+    """
+    rest = re.sub(r"^\s*(?:inline\s+|thread_local\s+)*", "", rest)
+    if re.match(r"\s*(?:const\b|constexpr\b)", rest):
+        return "const"
+    angle = 0
+    for c in rest:
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif angle == 0:
+            if c == "(":
+                return "fn"
+            if c in "=;{":
+                return "var"
+    return None
+
+
+def check_static_mutable(sf: SourceFile) -> list[Finding]:
+    if not re.search(r"(^|/)src/", sf.path):
+        return []
+    if any(sf.path.endswith(w) for w in STATIC_MUTABLE_WHITELIST):
+        return []
+    findings = []
+    class_depths: list[int] = []
+    depth = 0
+    for idx, line in enumerate(sf.code_lines, start=1):
+        opens = CLASS_OPEN_RE.search(line)
+        at_member_depth = bool(class_depths) and depth == class_depths[-1]
+        m = STATIC_DECL_RE.match(line)
+        # Static *data members* are a separate concern (they are at least
+        # visible in the class API); this rule targets the hidden ones at
+        # namespace/function scope.
+        if m and not at_member_depth:
+            kind = static_decl_kind(line[line.find("static") + len("static"):])
+            if kind == "var":
+                findings.append(Finding(
+                    sf.path, idx, "cloudfog-static-mutable",
+                    "non-const static at namespace/function scope: hidden "
+                    "mutable process state outlives runs and is writable "
+                    "from any thread — make it const, pass it explicitly, "
+                    "or justify with a NOLINT"))
+        if opens:
+            before = line[:opens.end()]
+            class_depths.append(depth + before.count("{") - before.count("}"))
+        depth += line.count("{") - line.count("}")
+        while class_depths and depth < class_depths[-1]:
+            class_depths.pop()
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Optional libclang engine
 # --------------------------------------------------------------------------
 
@@ -565,6 +1048,84 @@ def gather_files(paths: list[str]) -> list[tuple[str, str]]:
     return result
 
 
+@dataclass
+class FileScan:
+    """Picklable per-file result: everything main() needs to merge."""
+    path: str
+    findings: list[Finding]
+    bad_suppressions: list[Finding]
+    metric_sites: list[tuple[str, int, str]]
+    suppressions: dict[int, set[str]]
+
+
+# Worker-process libclang handle, initialised lazily per process so the
+# non-picklable cindex object never crosses the fork/pickle boundary.
+_worker_cindex = None
+_worker_cindex_tried = False
+
+
+def scan_file(abs_path: str, rel_path: str, active: frozenset,
+              want_clang: bool) -> FileScan:
+    """Every single-file rule over one source. Pure function of the file
+    contents (plus sibling header), so files can be scanned in any order
+    or process and merged deterministically afterwards."""
+    global _worker_cindex, _worker_cindex_tried
+    sf = load_source(abs_path, rel_path)
+    sup, bad_sup = suppressions_for(sf)
+
+    cindex = None
+    if want_clang:
+        if not _worker_cindex_tried:
+            _worker_cindex = try_clang_engine()
+            _worker_cindex_tried = True
+        cindex = _worker_cindex
+
+    file_findings: list[Finding] = []
+    if "cloudfog-wallclock" in active:
+        file_findings += check_wallclock(sf)
+    if "cloudfog-unordered-iter" in active or "cloudfog-pointer-key" in active:
+        ast = clang_check_file(cindex, abs_path, sf.path) if cindex else None
+        if ast is not None:
+            file_findings += [f for f in ast if f.rule in active]
+            # The AST engine covers pointer-key decls but not the sort-
+            # comparator heuristic; keep the token check for those.
+            if "cloudfog-pointer-key" in active:
+                file_findings += [f for f in check_pointer_key(sf)
+                                  if "comparator" in f.message]
+        else:
+            if "cloudfog-unordered-iter" in active:
+                file_findings += check_unordered_iter(sf, abs_path)
+            if "cloudfog-pointer-key" in active:
+                file_findings += check_pointer_key(sf)
+    if "cloudfog-uninit-pod" in active:
+        file_findings += check_uninit_pod(sf)
+    if "cloudfog-parallel-shared-write" in active or \
+            "cloudfog-float-reduce" in active:
+        file_findings += check_parallel_regions(sf, abs_path, active)
+    if "cloudfog-float-reduce" in active:
+        file_findings += check_float_reduce_loops(sf, abs_path)
+    if "cloudfog-raw-rng" in active:
+        file_findings += check_raw_rng(sf)
+    if "cloudfog-static-mutable" in active:
+        file_findings += check_static_mutable(sf)
+
+    sites = collect_metric_sites(sf) if "cloudfog-metric-once" in active else []
+    kept = [f for f in file_findings if f.rule not in sup.get(f.line, set())]
+    return FileScan(sf.path, kept, bad_sup, sites, sup)
+
+
+def _scan_file_star(job: tuple) -> FileScan:
+    return scan_file(*job)
+
+
+def resolve_jobs(jobs: int, n_files: int) -> int:
+    """0 = auto: one worker per CPU, capped at 8 (the scan is I/O-light and
+    per-file cheap, more workers just pay fork cost) and at the file count."""
+    if jobs == 0:
+        jobs = min(8, os.cpu_count() or 1)
+    return max(1, min(jobs, n_files))
+
+
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
         prog="cloudfog_lint.py",
@@ -577,6 +1138,11 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--engine", choices=("auto", "token", "clang"), default="auto",
                     help="auto: libclang AST when importable, token otherwise")
     ap.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="scan N files in parallel (0 = auto; findings are "
+                         "identical at any job count)")
+    ap.add_argument("--stats", action="store_true",
+                    help="print per-rule finding counts (includes zeroes)")
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -597,50 +1163,37 @@ def main(argv: list[str]) -> int:
         print("cloudfog_lint: no C++ sources found", file=sys.stderr)
         return 2
 
-    cindex = None
-    if args.engine in ("auto", "clang"):
-        cindex = try_clang_engine()
-        if cindex is None and args.engine == "clang":
-            print("cloudfog_lint: libclang unavailable, falling back to the "
-                  "token engine", file=sys.stderr)
+    want_clang = args.engine in ("auto", "clang")
+    cindex = try_clang_engine() if want_clang else None
+    if cindex is None and args.engine == "clang":
+        print("cloudfog_lint: libclang unavailable, falling back to the "
+              "token engine", file=sys.stderr)
+    want_clang = cindex is not None
+
+    jobs = resolve_jobs(args.jobs, len(files))
+    work = [(ap_, rp, frozenset(active), want_clang) for ap_, rp in files]
+    if jobs > 1:
+        import multiprocessing
+        with multiprocessing.Pool(jobs) as pool:
+            # Merge in input order regardless of completion order, so serial
+            # and parallel runs produce byte-identical output.
+            scans = pool.map(_scan_file_star, work)
+    else:
+        # The parent already probed libclang; reuse its handle.
+        global _worker_cindex, _worker_cindex_tried
+        _worker_cindex, _worker_cindex_tried = cindex, True
+        scans = [_scan_file_star(job) for job in work]
 
     findings: list[Finding] = []
     per_file_sites: dict[str, list[tuple[str, int, str]]] = {}
     suppressed: dict[str, dict[int, set[str]]] = {}
-
-    for abs_path, rel_path in files:
-        sf = load_source(abs_path, rel_path)
-        sup, bad_sup = suppressions_for(sf)
-        suppressed[sf.path] = sup
+    for scan in scans:
+        suppressed[scan.path] = scan.suppressions
         if "cloudfog-nolint" in active:
-            findings.extend(bad_sup)
-
-        file_findings: list[Finding] = []
-        if "cloudfog-wallclock" in active:
-            file_findings += check_wallclock(sf)
-        if "cloudfog-unordered-iter" in active or "cloudfog-pointer-key" in active:
-            ast = clang_check_file(cindex, abs_path, sf.path) if cindex else None
-            if ast is not None:
-                file_findings += [f for f in ast if f.rule in active]
-                # The AST engine covers pointer-key decls but not the sort-
-                # comparator heuristic; keep the token check for those.
-                if "cloudfog-pointer-key" in active:
-                    file_findings += [f for f in check_pointer_key(sf)
-                                      if "comparator" in f.message]
-            else:
-                if "cloudfog-unordered-iter" in active:
-                    file_findings += check_unordered_iter(sf, abs_path)
-                if "cloudfog-pointer-key" in active:
-                    file_findings += check_pointer_key(sf)
-        if "cloudfog-uninit-pod" in active:
-            file_findings += check_uninit_pod(sf)
+            findings.extend(scan.bad_suppressions)
+        findings.extend(scan.findings)
         if "cloudfog-metric-once" in active:
-            per_file_sites[sf.path] = collect_metric_sites(sf)
-
-        for f in file_findings:
-            if f.rule in sup.get(f.line, set()):
-                continue
-            findings.append(f)
+            per_file_sites[scan.path] = scan.metric_sites
 
     if "cloudfog-metric-once" in active:
         findings += check_metric_once(per_file_sites, suppressed)
@@ -648,11 +1201,17 @@ def main(argv: list[str]) -> int:
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for f in findings:
         print(f.format())
+    if args.stats:
+        counts = {rule: 0 for rule in sorted(active)}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        for rule, n in counts.items():
+            print(f"cloudfog_lint: stat {rule:32s} {n}", file=sys.stderr)
     if not args.quiet:
-        engine = "libclang+token" if cindex else "token"
+        engine = "libclang+token" if want_clang else "token"
         status = f"{len(findings)} finding(s)" if findings else "clean"
-        print(f"cloudfog_lint: {len(files)} file(s), engine={engine}: {status}",
-              file=sys.stderr)
+        print(f"cloudfog_lint: {len(files)} file(s), engine={engine}, "
+              f"jobs={jobs}: {status}", file=sys.stderr)
     return 1 if findings else 0
 
 
